@@ -1,0 +1,67 @@
+// Extension bench (paper's "support more threads" motivation): 8-thread
+// merging schemes built with the general scheme grammar, on doubled
+// Table 2 workloads. Compares pure CSMT, one-SMT-block mixes and the cost
+// of each, showing the paper's trade-off extends past 4 threads.
+#include <iostream>
+
+#include "exp/report.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+using namespace cvmt;
+
+Scheme mixed_8t(int smt_levels) {
+  std::vector<MergeKind> levels(7, MergeKind::kCsmt);
+  for (int i = 0; i < smt_levels; ++i) levels[static_cast<std::size_t>(i)] =
+      MergeKind::kSmt;
+  return Scheme::cascade(levels);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cvmt;
+  ExperimentConfig cfg = ExperimentConfig::from_env();
+  print_banner(std::cout,
+               "Ablation: 8-thread schemes (beyond the paper's 4)");
+
+  ProgramLibrary lib(cfg.sim.machine);
+  lib.build_all();
+
+  // The tree entry demonstrates the functional grammar: two 4-thread
+  // halves, each 2SC3-style, joined by CSMT.
+  const Scheme tree8 =
+      Scheme::parse("C(CP(S(0,1),2,3),CP(S(4,5),6,7))");
+  const std::vector<Scheme> all = {Scheme::parallel_csmt(8), mixed_8t(0),
+                                   mixed_8t(1), mixed_8t(2), tree8};
+
+  TableWriter t({"Scheme", "Avg IPC", "Transistors", "Gate delays"});
+  for (const Scheme& s : all) {
+    const auto& wls = table2_workloads();
+    std::vector<double> ipcs(wls.size(), 0.0);
+#ifdef CVMT_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (std::size_t w = 0; w < wls.size(); ++w) {
+      // Double the workload: 8 software threads on 8 contexts.
+      std::vector<std::shared_ptr<const SyntheticProgram>> progs;
+      for (const auto& name : wls[w].benchmarks)
+        progs.push_back(lib.lookup(name));
+      for (const auto& name : wls[w].benchmarks)
+        progs.push_back(lib.lookup(name));
+      ipcs[w] = run_simulation(s, progs, cfg.sim).ipc;
+    }
+    double sum = 0.0;
+    for (double v : ipcs) sum += v;
+    const SchemeCost c = scheme_cost(s, cfg.sim.machine);
+    t.add_row({s.name(), format_fixed(sum / 9.0, 2),
+               format_grouped(c.transistors),
+               format_fixed(c.gate_delay, 1)});
+  }
+  emit(std::cout, t);
+  std::cout << "\nReading: one SMT level recovers most of the merging\n"
+               "opportunity even at 8 threads, at a fraction of the cost\n"
+               "of deeper SMT cascades (the paper's trade-off, extended).\n";
+  return 0;
+}

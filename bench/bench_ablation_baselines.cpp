@@ -1,0 +1,71 @@
+// Multithreading baselines from the paper's related work (§1): Block
+// MultiThreading (switch on long-latency events) and Interleaved
+// MultiThreading (zero-cycle switch every cycle) issue ONE thread per
+// cycle; the merging schemes add horizontal packing on top. This bench
+// quantifies each step of that ladder on the Table 2 workloads.
+#include <iostream>
+
+#include "exp/report.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+using namespace cvmt;
+
+double average_ipc(const Scheme& scheme, const SimConfig& sim) {
+  ProgramLibrary lib(sim.machine);
+  lib.build_all();
+  const auto& wls = table2_workloads();
+  std::vector<double> ipcs(wls.size(), 0.0);
+#ifdef CVMT_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::size_t w = 0; w < wls.size(); ++w)
+    ipcs[w] = run_workload(scheme, wls[w], lib, sim).ipc;
+  double sum = 0.0;
+  for (double v : ipcs) sum += v;
+  return sum / static_cast<double>(wls.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace cvmt;
+  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  print_banner(std::cout,
+               "Baselines: single-thread, BMT, IMT vs merging schemes");
+
+  struct Config {
+    const char* label;
+    Scheme scheme;
+    PriorityPolicy policy;
+  };
+  const std::vector<Config> ladder = {
+      {"single-thread", Scheme::single_thread(),
+       PriorityPolicy::kRoundRobin},
+      {"BMT-4 (switch on stall)", Scheme::imt(4),
+       PriorityPolicy::kStickyOnStall},
+      {"IMT-4 (switch every cycle)", Scheme::imt(4),
+       PriorityPolicy::kRoundRobin},
+      {"CSMT-4 (3CCC)", Scheme::parse("3CCC"), PriorityPolicy::kRoundRobin},
+      {"mixed (2SC3)", Scheme::parse("2SC3"), PriorityPolicy::kRoundRobin},
+      {"SMT-4 (3SSS)", Scheme::parse("3SSS"), PriorityPolicy::kRoundRobin},
+  };
+
+  TableWriter t({"Configuration", "Avg IPC", "vs single"});
+  double base = 0.0;
+  for (const Config& c : ladder) {
+    SimConfig sim = cfg.sim;
+    sim.priority = c.policy;
+    const double ipc = average_ipc(c.scheme, sim);
+    if (base == 0.0) base = ipc;
+    t.add_row({c.label, format_fixed(ipc, 2),
+               format_fixed(percent_diff(ipc, base), 1) + "%"});
+  }
+  emit(std::cout, t);
+  std::cout << "\nLadder: IMT/BMT reclaim vertical waste caused by stalls\n"
+               "only; CSMT additionally packs cluster-disjoint packets;\n"
+               "SMT packs at operation level; 2SC3 buys most of the SMT\n"
+               "step at a 2-thread-SMT price (the paper's point).\n";
+  return 0;
+}

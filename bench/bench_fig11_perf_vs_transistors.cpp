@@ -1,0 +1,20 @@
+// Reproduces Fig 11: average performance vs transistors incurred for all
+// schemes (scatter points printed as rows, sorted by transistor count).
+#include <algorithm>
+#include <iostream>
+
+#include "exp/report.hpp"
+
+int main() {
+  using namespace cvmt;
+  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  print_banner(std::cout, "Figure 11: performance vs transistors incurred");
+  const Fig10Result f = run_fig10(cfg);
+  auto points = pareto_points(f, cfg.sim.machine);
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.transistors < b.transistors;
+            });
+  emit(std::cout, render_pareto(points));
+  return 0;
+}

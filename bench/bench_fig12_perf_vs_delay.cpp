@@ -1,0 +1,20 @@
+// Reproduces Fig 12: average performance vs merge-control gate delays for
+// all schemes (scatter points printed as rows, sorted by delay).
+#include <algorithm>
+#include <iostream>
+
+#include "exp/report.hpp"
+
+int main() {
+  using namespace cvmt;
+  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  print_banner(std::cout, "Figure 12: performance vs gate delays");
+  const Fig10Result f = run_fig10(cfg);
+  auto points = pareto_points(f, cfg.sim.machine);
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.gate_delay < b.gate_delay;
+            });
+  emit(std::cout, render_pareto(points));
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Fig 9: merging-hardware cost (gate delays and transistor
+// count) for the 16 four-thread schemes, in the paper's presentation
+// order.
+#include <iostream>
+
+#include "exp/report.hpp"
+
+int main() {
+  using namespace cvmt;
+  print_banner(std::cout, "Figure 9: merging hardware cost per scheme");
+  emit(std::cout, render_fig9(run_fig9()));
+  std::cout << "\nKey relations (paper Sec. 4.2):\n"
+               "  * CSMT-only schemes (C4, 3CCC, 2CC) cheapest overall\n"
+               "  * one-SMT-block schemes (2SC3, 3SCC, ...) cost ~1S\n"
+               "  * 2SS / 3SSS are the most expensive\n"
+               "  * early-SMT schemes hide routing delay (2SC3 ~ 1S)\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) of the hot components: merge-engine
+// selection for representative schemes, footprint predicates, cache
+// accesses, trace generation and end-to-end simulated cycles/second.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "core/merge_engine.hpp"
+#include "mem/cache.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace cvmt;
+
+const MachineConfig kM = MachineConfig::vex4x4();
+
+std::vector<Footprint> random_footprints(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Footprint> fps;
+  fps.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Instruction instr;
+    std::uint32_t used[kMaxClusters] = {};
+    const int k = 1 + static_cast<int>(rng.next_below(6));
+    for (int j = 0; j < k; ++j) {
+      const int c = static_cast<int>(rng.next_below(4));
+      for (int s = 0; s < 4; ++s) {
+        if ((used[c] & (1u << s)) == 0) {
+          used[c] |= 1u << s;
+          instr.add(make_alu(c, s));
+          break;
+        }
+      }
+    }
+    fps.push_back(Footprint::of(instr, kM));
+  }
+  return fps;
+}
+
+void BM_MergeEngineSelect(benchmark::State& state,
+                          const std::string& scheme_name) {
+  MergeEngine engine(Scheme::parse(scheme_name), kM);
+  const auto pool = random_footprints(1024, 99);
+  std::size_t i = 0;
+  const int n = engine.scheme().num_threads();
+  for (auto _ : state) {
+    std::array<const Footprint*, kMaxThreads> cands{};
+    for (int t = 0; t < n; ++t)
+      cands[static_cast<std::size_t>(t)] = &pool[(i + static_cast<
+          std::size_t>(t) * 37) & 1023];
+    ++i;
+    benchmark::DoNotOptimize(engine.select(
+        std::span<const Footprint* const>(cands.data(),
+                                          static_cast<std::size_t>(n))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_MergeEngineSelect, scheme_3SSS, std::string("3SSS"));
+BENCHMARK_CAPTURE(BM_MergeEngineSelect, scheme_3CCC, std::string("3CCC"));
+BENCHMARK_CAPTURE(BM_MergeEngineSelect, scheme_2SC3, std::string("2SC3"));
+BENCHMARK_CAPTURE(BM_MergeEngineSelect, scheme_C4, std::string("C4"));
+
+void BM_SmtCompatibility(benchmark::State& state) {
+  const auto pool = random_footprints(1024, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Footprint::smt_compatible(
+        pool[i & 1023], pool[(i * 31 + 7) & 1023], kM));
+    ++i;
+  }
+}
+BENCHMARK(BM_SmtCompatibility);
+
+void BM_CacheAccess(benchmark::State& state) {
+  SetAssocCache cache(CacheConfig{});
+  Xoshiro256 rng(5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.access(rng.next_below(1u << 22)));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  ProgramLibrary lib(kM);
+  TraceGenerator gen(lib.get("djpeg"), 3);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  ProgramLibrary lib(kM);
+  std::vector<std::shared_ptr<const SyntheticProgram>> progs = {
+      lib.get("mcf"), lib.get("djpeg"), lib.get("idct"), lib.get("x264")};
+  SimConfig cfg;
+  cfg.instruction_budget = 20'000;
+  cfg.timeslice_cycles = 5'000;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const SimResult r = run_simulation(Scheme::parse("2SC3"), progs, cfg);
+    cycles += r.cycles;
+    benchmark::DoNotOptimize(r.total_ops);
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

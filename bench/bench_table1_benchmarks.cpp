@@ -1,0 +1,19 @@
+// Reproduces Table 1: the benchmark set with single-thread IPC under real
+// memory (IPCr) and perfect memory (IPCp), paper targets side by side.
+//
+// Knobs: CVMT_BUDGET (instructions/thread), CVMT_FAST=1, CVMT_CSV=1.
+#include <iostream>
+
+#include "exp/report.hpp"
+
+int main() {
+  using namespace cvmt;
+  const ExperimentConfig cfg = ExperimentConfig::from_env();
+  print_banner(std::cout,
+               "Table 1: Benchmarks (single-thread IPCr / IPCp, 4-cluster "
+               "4-issue VEX)");
+  std::cout << "instruction budget per thread: "
+            << cfg.sim.instruction_budget << "\n\n";
+  emit(std::cout, render_table1(run_table1(cfg)));
+  return 0;
+}

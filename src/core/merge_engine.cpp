@@ -1,0 +1,113 @@
+#include "core/merge_engine.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace cvmt {
+namespace {
+
+/// Preorder walk collecting one stats slot per merge block.
+void collect_nodes(const Scheme::Node& node,
+                   std::vector<MergeNodeStats>& out) {
+  if (node.is_leaf()) return;
+  std::ostringstream label;
+  label << to_char(node.kind) << (node.parallel ? "P" : "") << '/'
+        << node.children.size() << "in";
+  out.push_back({label.str(), node.kind, 0, 0});
+  for (const auto& child : node.children) collect_nodes(child, out);
+}
+
+}  // namespace
+
+MergeEngine::MergeEngine(Scheme scheme, MachineConfig config,
+                         PriorityPolicy policy)
+    : scheme_(std::move(scheme)),
+      config_(config),
+      policy_(policy),
+      issued_histogram_(static_cast<std::size_t>(scheme_.num_threads()) + 1) {
+  config_.validate();
+  collect_nodes(scheme_.root(), node_stats_);
+}
+
+MergeEngine::EvalResult MergeEngine::eval(
+    const Scheme::Node& node, std::span<const Footprint* const> candidates,
+    std::size_t& node_id) {
+  if (node.is_leaf()) {
+    // Rotation maps priority port p to hardware thread (p + rotation) % N.
+    const int n = scheme_.num_threads();
+    const int tid = (node.port + rotation_) % n;
+    const Footprint* fp = candidates[static_cast<std::size_t>(tid)];
+    if (fp == nullptr) return {};
+    return {*fp, 1u << tid};
+  }
+
+  MergeNodeStats& stats = node_stats_[node_id++];
+  EvalResult acc;
+  bool have_acc = false;
+  for (const auto& child : node.children) {
+    EvalResult r = eval(child, candidates, node_id);
+    if (r.mask == 0) continue;  // nothing offered on this input
+    if (!have_acc) {
+      acc = r;  // highest-priority input seeds the packet unconditionally
+      have_acc = true;
+      continue;
+    }
+    ++stats.attempts;
+    bool ok = false;
+    switch (node.kind) {
+      case MergeKind::kCsmt:
+        ok = Footprint::csmt_compatible(acc.fp, r.fp);
+        break;
+      case MergeKind::kSmt:
+        ok = Footprint::smt_compatible(acc.fp, r.fp, config_);
+        break;
+      case MergeKind::kSelect:
+        ok = false;  // never merges: the first offering input wins
+        break;
+    }
+    if (ok) {
+      acc.fp.merge_with(r.fp, config_);
+      acc.mask |= r.mask;
+    } else {
+      // The whole input packet is dropped: if it was itself a merged group
+      // (tree schemes), every thread in it stalls this cycle (§4.1).
+      ++stats.rejects;
+    }
+  }
+  return acc;
+}
+
+MergeDecision MergeEngine::select(
+    std::span<const Footprint* const> candidates) {
+  CVMT_CHECK_MSG(
+      candidates.size() == static_cast<std::size_t>(scheme_.num_threads()),
+      "candidate count must match scheme thread count");
+  std::size_t node_id = 0;
+  const EvalResult r = eval(scheme_.root(), candidates, node_id);
+  CVMT_DCHECK(node_id == node_stats_.size());
+
+  MergeDecision d;
+  d.issued_mask = r.mask;
+  d.packet = r.fp;
+  d.num_issued = std::popcount(r.mask);
+  issued_histogram_.add(static_cast<std::size_t>(d.num_issued));
+  ++cycles_;
+  switch (policy_) {
+    case PriorityPolicy::kRoundRobin:
+      rotation_ = (rotation_ + 1) % scheme_.num_threads();
+      break;
+    case PriorityPolicy::kStickyOnStall: {
+      // Keep the current leader while it offers instructions; hand the
+      // lead to the next thread once it stalls (BMT's switch-on-event).
+      const int leader = rotation_ % scheme_.num_threads();
+      if (candidates[static_cast<std::size_t>(leader)] == nullptr)
+        rotation_ = (rotation_ + 1) % scheme_.num_threads();
+      break;
+    }
+    case PriorityPolicy::kFixed:
+      break;
+  }
+  return d;
+}
+
+}  // namespace cvmt

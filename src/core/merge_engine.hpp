@@ -1,0 +1,100 @@
+// Cycle-by-cycle evaluation of a merging scheme.
+//
+// Each cycle the merge control receives at most one candidate instruction
+// per hardware thread (stalled threads present none) and greedily selects a
+// subset to issue as one execution packet, walking the scheme tree in
+// priority order. Priority rotates round-robin across threads for fairness,
+// as in the CSMT base design.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "isa/footprint.hpp"
+#include "support/stats.hpp"
+
+namespace cvmt {
+
+/// How thread-to-priority-port assignment evolves over time.
+enum class PriorityPolicy : std::uint8_t {
+  kRoundRobin,     ///< rotate by one port every cycle (default, fair)
+  kFixed,          ///< thread i always has priority i (starvation-prone)
+  kStickyOnStall,  ///< keep the leader until it stalls (BMT-style: with an
+                   ///< IMT select scheme this is Block MultiThreading)
+};
+
+/// Outcome of one merge cycle.
+struct MergeDecision {
+  /// Bit t set <=> hardware thread t issues its candidate this cycle.
+  std::uint32_t issued_mask = 0;
+  /// Resource footprint of the final execution packet.
+  Footprint packet;
+  /// Number of threads issued (popcount of issued_mask).
+  int num_issued = 0;
+};
+
+/// Attempt/reject counters for one merge block of the scheme.
+struct MergeNodeStats {
+  std::string label;          ///< canonical sub-scheme, e.g. "S(0,1)"
+  MergeKind kind = MergeKind::kCsmt;
+  std::uint64_t attempts = 0;  ///< pairwise checks with both sides non-empty
+  std::uint64_t rejects = 0;   ///< checks that failed (input dropped)
+
+  [[nodiscard]] double reject_rate() const {
+    return attempts ? static_cast<double>(rejects) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  }
+};
+
+/// Evaluates one scheme against per-cycle candidates and keeps statistics.
+class MergeEngine {
+ public:
+  MergeEngine(Scheme scheme, MachineConfig config,
+              PriorityPolicy policy = PriorityPolicy::kRoundRobin);
+
+  /// Selects the threads to issue this cycle. `candidates` is indexed by
+  /// hardware thread id; a null entry means the thread has nothing to issue
+  /// (stalled or idle). Size must equal scheme().num_threads().
+  MergeDecision select(std::span<const Footprint* const> candidates);
+
+  /// Resets the rotation (not the statistics); used when re-seeding runs.
+  void reset_rotation() { rotation_ = 0; }
+
+  [[nodiscard]] const Scheme& scheme() const { return scheme_; }
+  [[nodiscard]] const MachineConfig& machine() const { return config_; }
+  [[nodiscard]] PriorityPolicy policy() const { return policy_; }
+
+  /// Per-merge-block statistics, in preorder over the scheme tree.
+  [[nodiscard]] const std::vector<MergeNodeStats>& node_stats() const {
+    return node_stats_;
+  }
+  /// Distribution of threads issued per cycle (bucket k = k threads).
+  [[nodiscard]] const Histogram& issued_histogram() const {
+    return issued_histogram_;
+  }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  struct EvalResult {
+    Footprint fp;
+    std::uint32_t mask = 0;
+  };
+
+  EvalResult eval(const Scheme::Node& node,
+                  std::span<const Footprint* const> candidates,
+                  std::size_t& node_id);
+
+  Scheme scheme_;
+  MachineConfig config_;
+  PriorityPolicy policy_;
+  int rotation_ = 0;
+  std::vector<MergeNodeStats> node_stats_;
+  Histogram issued_histogram_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace cvmt

@@ -1,0 +1,112 @@
+#include "core/merge_logic.hpp"
+
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace cvmt::gatesim {
+
+CsmtStageOut csmt_serial_stage_eval(std::uint32_t acc_mask,
+                                    std::uint32_t cand_mask, bool valid) {
+  const bool conflict = (acc_mask & cand_mask) != 0;  // AND + OR-reduce
+  const bool select = valid && !conflict;
+  const std::uint32_t sel_mask = select ? ~0u : 0u;  // select fan-out
+  return {select, acc_mask | (cand_mask & sel_mask)};
+}
+
+std::uint32_t csmt_serial_select(
+    std::span<const std::uint32_t> cluster_masks,
+    std::span<const bool> valid) {
+  CVMT_CHECK(cluster_masks.size() == valid.size());
+  CVMT_CHECK(cluster_masks.size() <= 32);
+  std::uint32_t grants = 0;
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < cluster_masks.size(); ++i) {
+    const CsmtStageOut out =
+        csmt_serial_stage_eval(acc, cluster_masks[i], valid[i]);
+    acc = out.acc_mask;
+    grants |= out.select ? (1u << i) : 0u;
+  }
+  return grants;
+}
+
+namespace {
+
+/// Subset feasibility checker: all valid, pairwise cluster-disjoint.
+/// (The hardware computes this as pairwise ANDs OR-reduced; disjointness
+/// of all pairs is equivalent to the masks summing without carry, i.e.
+/// the OR equals the sum — checked pairwise here, exactly like the
+/// checker bank in csmt_parallel_block().)
+bool subset_feasible(std::uint32_t subset,
+                     std::span<const std::uint32_t> cluster_masks,
+                     std::span<const bool> valid) {
+  std::uint32_t seen = 0;
+  std::uint32_t s = subset;
+  while (s != 0) {
+    const unsigned i = static_cast<unsigned>(std::countr_zero(s));
+    s &= s - 1;
+    if (!valid[i]) return false;
+    if ((seen & cluster_masks[i]) != 0) return false;
+    seen |= cluster_masks[i];
+  }
+  return true;
+}
+
+/// Priority order of subsets: thread 0 is the most significant grant. The
+/// hardware's priority encoder walks grant patterns in this order.
+std::uint32_t priority_key(std::uint32_t subset, std::size_t n) {
+  std::uint32_t key = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (subset & (1u << i)) key |= 1u << (n - 1 - i);
+  return key;
+}
+
+}  // namespace
+
+std::uint32_t csmt_parallel_select(
+    std::span<const std::uint32_t> cluster_masks,
+    std::span<const bool> valid) {
+  CVMT_CHECK(cluster_masks.size() == valid.size());
+  const std::size_t n = cluster_masks.size();
+  CVMT_CHECK(n <= 16);  // 2^n subset checkers
+  std::uint32_t best = 0;
+  std::uint32_t best_key = 0;
+  for (std::uint32_t subset = 1; subset < (1u << n); ++subset) {
+    if (!subset_feasible(subset, cluster_masks, valid)) continue;
+    const std::uint32_t key = priority_key(subset, n);
+    if (key > best_key) {
+      best_key = key;
+      best = subset;
+    }
+  }
+  return best;
+}
+
+SmtPacketState SmtPacketState::of(const Footprint& fp,
+                                  const MachineConfig& machine) {
+  SmtPacketState s;
+  for (int c = 0; c < machine.num_clusters; ++c) {
+    s.fixed[c] = fp.cluster(c).fixed_mask;
+    s.count[c] = fp.cluster(c).op_count;
+  }
+  return s;
+}
+
+bool smt_stage_feasible(const SmtPacketState& a, const SmtPacketState& b,
+                        const MachineConfig& machine) {
+  const auto width = static_cast<std::uint32_t>(machine.issue_per_cluster);
+  for (int c = 0; c < machine.num_clusters; ++c) {
+    if ((a.fixed[c] & b.fixed[c]) != 0) return false;   // slot collision
+    if (a.count[c] + b.count[c] > width) return false;  // adder + compare
+  }
+  return true;
+}
+
+void smt_stage_merge(SmtPacketState& a, const SmtPacketState& b) {
+  for (std::size_t c = 0; c < kMaxClusters; ++c) {
+    a.fixed[c] |= b.fixed[c];
+    a.count[c] += b.count[c];
+  }
+}
+
+}  // namespace cvmt::gatesim

@@ -1,0 +1,75 @@
+// Bit-level functional model of the thread-merge-control hardware.
+//
+// The cost model (src/cost) prices three control structures; this module
+// implements their *logic* on packed bit vectors, structured the way the
+// hardware is:
+//
+//  * serial CSMT control — a cascade of conflict-check/select/mask-update
+//    stages (Fig 3 + DSD'07 serial design);
+//  * parallel CSMT control — every thread subset checked concurrently,
+//    then the highest-priority feasible subset granted;
+//  * SMT stage feasibility — per-cluster fixed-slot collision and
+//    issue-count checks (Fig 2).
+//
+// Tests prove the serial and parallel selections identical (the paper's
+// "functionally equivalent" claim is a theorem here: cluster-disjointness
+// is subset-closed, so the greedy cascade computes the lexicographically
+// greatest feasible subset, which is exactly what the parallel priority
+// grant picks) and both equal the behavioral MergeEngine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "isa/footprint.hpp"
+#include "isa/machine_config.hpp"
+
+namespace cvmt::gatesim {
+
+/// One serial CSMT stage: conflict = OR over clusters of (acc AND cand);
+/// select = valid AND NOT conflict; acc' = acc OR (cand AND select).
+struct CsmtStageOut {
+  bool select = false;
+  std::uint32_t acc_mask = 0;
+};
+[[nodiscard]] CsmtStageOut csmt_serial_stage_eval(std::uint32_t acc_mask,
+                                                  std::uint32_t cand_mask,
+                                                  bool valid);
+
+/// Full serial CSMT control: cascades the stage over candidates in
+/// priority order (index 0 highest). `cluster_masks[i]` is thread i's
+/// cluster-usage mask; `valid` flags threads offering an instruction.
+/// Returns the grant bitmask (bit i set <=> thread i issues).
+[[nodiscard]] std::uint32_t csmt_serial_select(
+    std::span<const std::uint32_t> cluster_masks,
+    std::span<const bool> valid);
+
+/// Parallel CSMT control: checks every subset for pairwise cluster
+/// disjointness concurrently and grants the highest-priority feasible
+/// subset (priority = lexicographic with thread 0 most significant).
+[[nodiscard]] std::uint32_t csmt_parallel_select(
+    std::span<const std::uint32_t> cluster_masks,
+    std::span<const bool> valid);
+
+/// Packed per-cluster state of an (accumulated) packet as the SMT merge
+/// control sees it: fixed-slot occupancy masks and operation counts.
+struct SmtPacketState {
+  std::uint32_t fixed[kMaxClusters] = {};
+  std::uint32_t count[kMaxClusters] = {};
+
+  /// Extracts the state from a behavioural footprint.
+  [[nodiscard]] static SmtPacketState of(const Footprint& fp,
+                                         const MachineConfig& machine);
+};
+
+/// SMT stage feasibility: per cluster, (fixed_a AND fixed_b) == 0 and
+/// count_a + count_b <= issue width; AND-reduced over clusters.
+[[nodiscard]] bool smt_stage_feasible(const SmtPacketState& a,
+                                      const SmtPacketState& b,
+                                      const MachineConfig& machine);
+
+/// Merges b into a (OR the fixed masks, add the counts). Caller checks
+/// feasibility first, as the hardware's select signal does.
+void smt_stage_merge(SmtPacketState& a, const SmtPacketState& b);
+
+}  // namespace cvmt::gatesim

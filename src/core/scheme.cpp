@@ -1,0 +1,310 @@
+#include "core/scheme.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace cvmt {
+namespace {
+
+/// Collects leaf ports, checking structural rules along the way.
+void validate_node(const Scheme::Node& node, std::vector<int>& ports) {
+  if (node.is_leaf()) {
+    CVMT_CHECK_MSG(node.children.empty(), "leaf with children");
+    ports.push_back(node.port);
+    return;
+  }
+  CVMT_CHECK_MSG(node.children.size() >= 2,
+                 "merge block needs at least two inputs");
+  CVMT_CHECK_MSG(!node.parallel || node.kind == MergeKind::kCsmt,
+                 "parallel implementation exists only for CSMT (paper: "
+                 "parallel SMT is prohibitively expensive; select blocks "
+                 "are single-level anyway)");
+  for (const auto& child : node.children) validate_node(child, ports);
+}
+
+Scheme::Node leaf(int port) {
+  Scheme::Node n;
+  n.port = port;
+  return n;
+}
+
+Scheme::Node block(MergeKind kind, std::vector<Scheme::Node> children,
+                   bool parallel = false) {
+  Scheme::Node n;
+  n.kind = kind;
+  n.parallel = parallel;
+  n.children = std::move(children);
+  return n;
+}
+
+struct Token {
+  MergeKind kind;
+  int width;  ///< 2 for a plain letter, k for a subscripted block like C3
+};
+
+/// Tokenizes the part after the level digit: "SC3" -> [S/2, C/3].
+std::vector<Token> tokenize(std::string_view body) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    const char c = body[i++];
+    CVMT_CHECK_MSG(c == 'S' || c == 'C',
+                   "scheme letter must be S or C: " + std::string(body));
+    MergeKind kind = c == 'S' ? MergeKind::kSmt : MergeKind::kCsmt;
+    int width = 2;
+    if (i < body.size() && std::isdigit(static_cast<unsigned char>(body[i]))) {
+      width = body[i++] - '0';
+      CVMT_CHECK_MSG(width >= 2, "block subscript must be >= 2");
+      CVMT_CHECK_MSG(kind == MergeKind::kCsmt,
+                     "parallel SMT blocks (S_k) are not supported");
+    }
+    tokens.push_back({kind, width});
+  }
+  return tokens;
+}
+
+/// Recursive-descent parser for the functional syntax
+///   expr := ('S' | 'C' | 'CP') '(' expr (',' expr)* ')' | port-number
+class FunctionalParser {
+ public:
+  explicit FunctionalParser(std::string_view text) : text_(text) {}
+
+  Scheme::Node parse() {
+    Scheme::Node n = expr();
+    skip_ws();
+    CVMT_CHECK_MSG(pos_ == text_.size(), "trailing input in scheme");
+    return n;
+  }
+
+ private:
+  Scheme::Node expr() {
+    skip_ws();
+    CVMT_CHECK_MSG(pos_ < text_.size(), "unexpected end of scheme");
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      int port = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        port = port * 10 + (text_[pos_++] - '0');
+      return leaf(port);
+    }
+    MergeKind kind;
+    bool parallel = false;
+    if (c == 'S') {
+      kind = MergeKind::kSmt;
+      ++pos_;
+    } else if (c == 'I') {
+      kind = MergeKind::kSelect;
+      ++pos_;
+    } else if (c == 'C') {
+      kind = MergeKind::kCsmt;
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] == 'P') {
+        parallel = true;
+        ++pos_;
+      }
+    } else {
+      CVMT_CHECK_MSG(false, std::string("unexpected character '") + c +
+                                "' in scheme");
+      __builtin_unreachable();
+    }
+    expect('(');
+    std::vector<Scheme::Node> children;
+    children.push_back(expr());
+    skip_ws();
+    while (pos_ < text_.size() && text_[pos_] == ',') {
+      ++pos_;
+      children.push_back(expr());
+      skip_ws();
+    }
+    expect(')');
+    return block(kind, std::move(children), parallel);
+  }
+
+  void expect(char c) {
+    skip_ws();
+    CVMT_CHECK_MSG(pos_ < text_.size() && text_[pos_] == c,
+                   std::string("expected '") + c + "' in scheme");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Scheme::Scheme(std::string name, Node root)
+    : name_(std::move(name)), root_(std::move(root)) {
+  std::vector<int> ports;
+  validate_node(root_, ports);
+  // Ports must be exactly {0..N-1}, each used once.
+  std::vector<bool> seen(ports.size(), false);
+  for (int p : ports) {
+    CVMT_CHECK_MSG(p >= 0 && static_cast<std::size_t>(p) < ports.size(),
+                   "leaf ports must be dense 0..N-1");
+    CVMT_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
+                   "duplicate leaf port");
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  num_threads_ = static_cast<int>(ports.size());
+  CVMT_CHECK_MSG(num_threads_ >= 1 && num_threads_ <= kMaxThreads,
+                 "thread count out of range");
+}
+
+Scheme Scheme::parse(std::string_view text) {
+  const std::string s = to_upper(trim(text));
+  CVMT_CHECK_MSG(!s.empty(), "empty scheme name");
+
+  if (s.find('(') != std::string::npos) {
+    FunctionalParser p(s);
+    return Scheme(s, p.parse());
+  }
+
+  // "IMT<k>": the interleaved-multithreading baseline.
+  if (s.rfind("IMT", 0) == 0) {
+    int k = 0;
+    for (std::size_t i = 3; i < s.size(); ++i) {
+      CVMT_CHECK_MSG(std::isdigit(static_cast<unsigned char>(s[i])),
+                     "malformed IMT scheme name: " + s);
+      k = k * 10 + (s[i] - '0');
+    }
+    Scheme sch = imt(k);
+    return Scheme(s, sch.root());
+  }
+
+  // "C<k>": one parallel CSMT block over k threads.
+  if (s[0] == 'C' && s.size() >= 2 &&
+      std::isdigit(static_cast<unsigned char>(s[1]))) {
+    int k = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      CVMT_CHECK_MSG(std::isdigit(static_cast<unsigned char>(s[i])),
+                     "malformed parallel scheme name: " + s);
+      k = k * 10 + (s[i] - '0');
+    }
+    Scheme sch = parallel_csmt(k);
+    return Scheme(s, sch.root());
+  }
+
+  CVMT_CHECK_MSG(std::isdigit(static_cast<unsigned char>(s[0])),
+                 "scheme name must start with level count or C<k>: " + s);
+  const int levels = s[0] - '0';
+  const std::vector<Token> tokens = tokenize(std::string_view(s).substr(1));
+  CVMT_CHECK_MSG(static_cast<int>(tokens.size()) == levels,
+                 "level digit does not match number of merge blocks: " + s);
+
+  // Paper convention: "2XY" with two plain letters is the balanced tree of
+  // Fig 8(l)-(o): X merges (T0,T1) and (T2,T3); Y merges the group results.
+  if (levels == 2 && tokens[0].width == 2 && tokens[1].width == 2) {
+    Node group_a = block(tokens[0].kind, {leaf(0), leaf(1)});
+    Node group_b = block(tokens[0].kind, {leaf(2), leaf(3)});
+    std::vector<Node> top;
+    top.push_back(std::move(group_a));
+    top.push_back(std::move(group_b));
+    return Scheme(s, block(tokens[1].kind, std::move(top)));
+  }
+
+  // Cascade: the first block merges fresh threads; every later block merges
+  // the accumulated packet with fresh threads.
+  int next_port = 0;
+  Node acc;
+  bool have_acc = false;
+  for (const Token& t : tokens) {
+    std::vector<Node> inputs;
+    if (have_acc) inputs.push_back(std::move(acc));
+    const int fresh = have_acc ? t.width - 1 : t.width;
+    for (int i = 0; i < fresh; ++i) inputs.push_back(leaf(next_port++));
+    acc = block(t.kind, std::move(inputs), /*parallel=*/t.width > 2);
+    have_acc = true;
+  }
+  return Scheme(s, std::move(acc));
+}
+
+Scheme Scheme::single_thread() { return Scheme("1T", leaf(0)); }
+
+std::vector<Scheme> Scheme::paper_schemes_4t() {
+  const char* names[] = {"C4",   "3CCC", "2CC", "1S",   "2SC3", "3CSC",
+                         "2C3S", "3CCS", "3SCC", "2CS",  "2SC",  "3SSC",
+                         "3SCS", "3CSS", "2SS",  "3SSS"};
+  std::vector<Scheme> out;
+  out.reserve(std::size(names));
+  for (const char* n : names) out.push_back(parse(n));
+  return out;
+}
+
+Scheme Scheme::cascade(const std::vector<MergeKind>& levels) {
+  CVMT_CHECK(!levels.empty());
+  std::ostringstream name;
+  name << levels.size();
+  Node acc = block(levels[0], {leaf(0), leaf(1)});
+  name << to_char(levels[0]);
+  int next_port = 2;
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    std::vector<Node> inputs;
+    inputs.push_back(std::move(acc));
+    inputs.push_back(leaf(next_port++));
+    acc = block(levels[i], std::move(inputs));
+    name << to_char(levels[i]);
+  }
+  return Scheme(name.str(), std::move(acc));
+}
+
+Scheme Scheme::parallel_csmt(int num_threads) {
+  CVMT_CHECK(num_threads >= 2 && num_threads <= kMaxThreads);
+  std::vector<Node> inputs;
+  inputs.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) inputs.push_back(leaf(i));
+  return Scheme("C" + std::to_string(num_threads),
+                block(MergeKind::kCsmt, std::move(inputs), true));
+}
+
+Scheme Scheme::imt(int num_threads) {
+  CVMT_CHECK(num_threads >= 2 && num_threads <= kMaxThreads);
+  std::vector<Node> inputs;
+  inputs.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) inputs.push_back(leaf(i));
+  return Scheme("IMT" + std::to_string(num_threads),
+                block(MergeKind::kSelect, std::move(inputs)));
+}
+
+namespace {
+int count_blocks_rec(const Scheme::Node& node, MergeKind kind) {
+  if (node.is_leaf()) return 0;
+  int n = 0;
+  for (const auto& child : node.children) n += count_blocks_rec(child, kind);
+  if (node.kind == kind)
+    n += node.parallel ? 1 : static_cast<int>(node.children.size()) - 1;
+  return n;
+}
+
+void canonical_rec(const Scheme::Node& node, std::ostream& os) {
+  if (node.is_leaf()) {
+    os << node.port;
+    return;
+  }
+  os << to_char(node.kind) << (node.parallel ? "P" : "") << '(';
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i) os << ',';
+    canonical_rec(node.children[i], os);
+  }
+  os << ')';
+}
+}  // namespace
+
+int Scheme::count_blocks(MergeKind kind) const {
+  return count_blocks_rec(root_, kind);
+}
+
+std::string Scheme::canonical() const {
+  std::ostringstream os;
+  canonical_rec(root_, os);
+  return os.str();
+}
+
+}  // namespace cvmt

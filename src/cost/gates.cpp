@@ -1,0 +1,47 @@
+#include "cost/gates.hpp"
+
+#include <bit>
+
+namespace cvmt {
+
+int ceil_log2(std::int64_t n) {
+  CVMT_CHECK(n >= 1);
+  return static_cast<int>(
+      std::bit_width(static_cast<std::uint64_t>(n) - 1));
+}
+
+namespace gates {
+
+Circuit reduce_tree(int n) {
+  CVMT_CHECK(n >= 1);
+  if (n == 1) return {0, 0.0};
+  return {static_cast<std::int64_t>(n - 1) * kAnd2.transistors,
+          static_cast<double>(ceil_log2(n))};
+}
+
+Circuit mux_n(int n, int width) {
+  CVMT_CHECK(n >= 1 && width >= 1);
+  if (n == 1) return {0, 0.0};
+  // A tree of (n-1) 2:1 muxes per bit.
+  return {static_cast<std::int64_t>(n - 1) * width * kMux2.transistors,
+          static_cast<double>(ceil_log2(n))};
+}
+
+Circuit adder(int bits) {
+  CVMT_CHECK(bits >= 1);
+  return {static_cast<std::int64_t>(bits) * kFullAdder.transistors,
+          static_cast<double>(bits)};  // ripple carry
+}
+
+Circuit priority_encoder(int n) {
+  CVMT_CHECK(n >= 1);
+  if (n == 1) return {0, 0.0};
+  // Kill-chain style: each line gated by NOR of all higher-priority lines,
+  // implemented as a lookahead tree: ~2 gates per line, log-depth chain.
+  return {static_cast<std::int64_t>(n) * (kAnd2.transistors +
+                                          kInv.transistors),
+          static_cast<double>(1 + ceil_log2(n))};
+}
+
+}  // namespace gates
+}  // namespace cvmt

@@ -1,0 +1,71 @@
+// Gate-level cost primitives.
+//
+// The paper reports merge-control hardware cost as transistor counts and
+// gate delays following the methodology of Gupta et al., "Merge Logic for
+// Clustered Multithreaded VLIW Processors" (DSD 2007). That paper is not
+// available offline, so we rebuild the estimate bottom-up from static-CMOS
+// primitive costs and structural circuit descriptions; tests pin the
+// qualitative shape the ICPP paper states (see DESIGN.md §2, substitution 2).
+//
+// Conventions: transistor counts are static CMOS (inverter 2, NAND2/NOR2 4,
+// AND2/OR2 6, transmission-gate MUX2 8); delays are in "equivalent gate
+// delays" where any 2-input gate costs 1.
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+
+/// Cost of a combinational circuit: area (transistors) and critical-path
+/// depth (equivalent gate delays).
+struct Circuit {
+  std::int64_t transistors = 0;
+  double delay = 0.0;
+
+  /// Serial composition: `other` consumes this circuit's outputs.
+  [[nodiscard]] Circuit then(const Circuit& other) const {
+    return {transistors + other.transistors, delay + other.delay};
+  }
+  /// Parallel composition: independent circuits, critical path is the max.
+  [[nodiscard]] Circuit beside(const Circuit& other) const {
+    return {transistors + other.transistors,
+            delay > other.delay ? delay : other.delay};
+  }
+  /// Replicates this circuit `n` times in parallel.
+  [[nodiscard]] Circuit times(std::int64_t n) const {
+    CVMT_CHECK(n >= 0);
+    return {transistors * n, n > 0 ? delay : 0.0};
+  }
+};
+
+namespace gates {
+
+inline constexpr Circuit kInv{2, 1.0};
+inline constexpr Circuit kNand2{4, 1.0};
+inline constexpr Circuit kNor2{4, 1.0};
+inline constexpr Circuit kAnd2{6, 1.0};
+inline constexpr Circuit kOr2{6, 1.0};
+inline constexpr Circuit kXor2{10, 1.5};
+inline constexpr Circuit kMux2{8, 1.0};       ///< 1-bit 2:1 mux
+inline constexpr Circuit kFullAdder{28, 2.0};  ///< 1-bit full adder
+
+/// Balanced tree of 2-input AND (or OR) gates over `n` inputs.
+[[nodiscard]] Circuit reduce_tree(int n);
+
+/// `n`-input, `width`-bit multiplexer built from 2:1 muxes.
+[[nodiscard]] Circuit mux_n(int n, int width);
+
+/// Ripple adder/comparator over `bits`-bit operands.
+[[nodiscard]] Circuit adder(int bits);
+
+/// Priority encoder over `n` request lines (select-first logic).
+[[nodiscard]] Circuit priority_encoder(int n);
+
+}  // namespace gates
+
+/// ceil(log2(n)) for n >= 1.
+[[nodiscard]] int ceil_log2(std::int64_t n);
+
+}  // namespace cvmt

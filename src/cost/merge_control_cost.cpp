@@ -1,0 +1,131 @@
+#include "cost/merge_control_cost.hpp"
+
+#include <algorithm>
+
+namespace cvmt {
+namespace {
+
+using namespace gates;
+
+[[nodiscard]] std::int64_t pairs(std::int64_t n) { return n * (n - 1) / 2; }
+
+[[nodiscard]] std::int64_t binom(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  std::int64_t r = 1;
+  for (int i = 1; i <= k; ++i) r = r * (n - k + i) / i;
+  return r;
+}
+
+}  // namespace
+
+Circuit csmt_serial_stage(const MachineConfig& machine) {
+  const int m = machine.num_clusters;
+  // Cluster-mask AND (1 level) + OR-reduce to the conflict bit.
+  Circuit conflict = kAnd2.times(m);
+  conflict.delay = 1.0;
+  conflict = conflict.then(reduce_tree(m));
+  // Select = valid AND NOT conflict (single complex gate).
+  const Circuit select{kInv.transistors + kAnd2.transistors, 1.0};
+  // Accumulated-mask update: one AND-OR complex gate per cluster, folded
+  // into the next stage's input sampling (single level).
+  const Circuit mask_update{
+      m * (kAnd2.transistors + kOr2.transistors), 1.0};
+  return conflict.then(select).then(mask_update);
+}
+
+Circuit csmt_parallel_block(int k, const MachineConfig& machine) {
+  CVMT_CHECK(k >= 2);
+  const int m = machine.num_clusters;
+  // One feasibility checker per thread subset of size >= 2: within each
+  // cluster, pairwise AND of the subset's cluster bits, OR-reduced; then
+  // OR across clusters. All subsets evaluated concurrently.
+  Circuit all_checks{0, 0.0};
+  for (int j = 2; j <= k; ++j) {
+    const std::int64_t p = pairs(j);
+    Circuit per_cluster = kAnd2.times(p);
+    per_cluster.delay = 1.0;
+    per_cluster = per_cluster.then(reduce_tree(static_cast<int>(p)));
+    Circuit check = per_cluster.times(m);
+    check.delay = per_cluster.delay;  // clusters in parallel
+    check = check.then(reduce_tree(m));
+    Circuit bank = check.times(binom(k, j));
+    bank.delay = check.delay;  // subsets in parallel
+    all_checks = all_checks.beside(bank);
+  }
+  // Greedy-equivalent selection: per-thread grant = AND-OR over the
+  // precomputed subset feasibility lines (2 logic levels); area scales with
+  // the number of subsets.
+  const std::int64_t num_subsets = std::int64_t{1} << k;
+  const Circuit selection{
+      priority_encoder(static_cast<int>(num_subsets)).transistors, 2.0};
+  return all_checks.then(selection);
+}
+
+SmtStageCost smt_stage(int acc_threads, int in_threads,
+                       const MachineConfig& machine) {
+  CVMT_CHECK(acc_threads >= 1 && in_threads >= 1);
+  const int m = machine.num_clusters;
+  const int w = machine.issue_per_cluster;
+  const int count_bits = ceil_log2(w) + 1;
+
+  // Selection: per cluster, fixed-slot collision (mask AND + OR-reduce) in
+  // parallel with the issue-count add/compare; AND-reduce across clusters.
+  Circuit collision = kAnd2.times(w);
+  collision.delay = 1.0;
+  collision = collision.then(reduce_tree(w));
+  const Circuit count = adder(count_bits).then(adder(count_bits));  // add,cmp
+  Circuit per_cluster = collision.beside(count).then(kAnd2);
+  Circuit selection = per_cluster.times(m);
+  selection.delay = per_cluster.delay;  // clusters checked in parallel
+  selection = selection.then(reduce_tree(m)).then(kAnd2);
+
+  // Routing-select generation: a w x w arbiter matrix allocates the
+  // incoming packet's reroutable ops to free slots, then per-slot source
+  // selects are encoded over all candidate ops of the merged sources.
+  const int sources = (acc_threads + in_threads) * w;
+  constexpr std::int64_t kArbiterCell = 36;
+  const Circuit routing{
+      m * (static_cast<std::int64_t>(w) * w * kArbiterCell +
+           static_cast<std::int64_t>(w) * sources * kAnd2.transistors),
+      static_cast<double>(w) + 2.0 + ceil_log2(sources)};
+  return {selection, routing};
+}
+
+Circuit grant_epilogue(int n_threads, const MachineConfig& machine) {
+  const int m = machine.num_clusters;
+  return {static_cast<std::int64_t>(m) * n_threads * kAnd2.transistors, 2.0};
+}
+
+Circuit csmt_serial_control(int n_threads, const MachineConfig& machine) {
+  CVMT_CHECK(n_threads >= 2);
+  Circuit total{0, 0.0};
+  for (int i = 1; i < n_threads; ++i)
+    total = total.then(csmt_serial_stage(machine));
+  return total.then(grant_epilogue(n_threads, machine));
+}
+
+Circuit csmt_parallel_control(int n_threads, const MachineConfig& machine) {
+  CVMT_CHECK(n_threads >= 2);
+  return csmt_parallel_block(n_threads, machine)
+      .then(grant_epilogue(n_threads, machine));
+}
+
+Circuit smt_serial_control(int n_threads, const MachineConfig& machine) {
+  CVMT_CHECK(n_threads >= 2);
+  Circuit sel_path{0, 0.0};
+  std::int64_t routing_transistors = 0;
+  double last_routing_done = 0.0;
+  for (int i = 1; i < n_threads; ++i) {
+    const SmtStageCost stage = smt_stage(i, 1, machine);
+    sel_path = sel_path.then(stage.selection);
+    routing_transistors += stage.routing.transistors;
+    // Routing of stage i starts once its selection is resolved; earlier
+    // stages' routing overlaps later selection, so only the last matters.
+    last_routing_done = sel_path.delay + stage.routing.delay;
+  }
+  const Circuit epi = grant_epilogue(n_threads, machine);
+  return {sel_path.transistors + routing_transistors + epi.transistors,
+          std::max(sel_path.delay + epi.delay, last_routing_done)};
+}
+
+}  // namespace cvmt

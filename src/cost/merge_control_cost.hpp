@@ -1,0 +1,58 @@
+// Structural cost models of the three thread-merge-control designs the
+// paper compares (§2.2, §3, Fig 5):
+//
+//  * CSMT serial  — a cascade of 2-input cluster-level conflict stages;
+//  * CSMT parallel — one block checking all thread subsets concurrently
+//    (area exponential in threads, delay nearly flat);
+//  * SMT serial   — a cascade of operation-level stages; each stage checks
+//    per-cluster fixed-slot collisions and issue-width fit, and computes
+//    routing-select signals for the per-cluster routing blocks. The routing
+//    computation is *not* on the selection critical path: it overlaps any
+//    later stages (this is the paper's explanation for 3SCC/2SC3 having
+//    ~1S delay while 3CCS does not).
+//
+// Datapath muxes / routing blocks are deliberately excluded: the paper
+// notes they cost the same for SMT and CSMT (and are needed even by IMT),
+// so the thread merge control is the only differentiating cost (§2.2).
+#pragma once
+
+#include "cost/gates.hpp"
+#include "isa/machine_config.hpp"
+
+namespace cvmt {
+
+/// Cost of one 2-input CSMT merge stage (conflict check + select + cluster
+/// mask update) for an M-cluster machine.
+[[nodiscard]] Circuit csmt_serial_stage(const MachineConfig& machine);
+
+/// Cost of a k-input parallel CSMT block: all 2^k thread subsets checked
+/// concurrently, then a greedy-equivalent 2-level grant selection.
+[[nodiscard]] Circuit csmt_parallel_block(int k,
+                                          const MachineConfig& machine);
+
+/// One SMT merge stage combining an accumulated packet already holding
+/// operations of `acc_threads` threads with an incoming packet holding
+/// `in_threads` threads (1 for cascades; >1 at the top of tree schemes).
+struct SmtStageCost {
+  Circuit selection;  ///< conflict + issue-count check (critical sel path)
+  Circuit routing;    ///< routing-select generation (overlaps later stages)
+};
+[[nodiscard]] SmtStageCost smt_stage(int acc_threads, int in_threads,
+                                     const MachineConfig& machine);
+
+/// Final per-cluster grant decode shared by all designs (generates the
+/// select signals of the per-cluster muxes / routing blocks).
+[[nodiscard]] Circuit grant_epilogue(int n_threads,
+                                     const MachineConfig& machine);
+
+/// Whole-control costs used by the Fig 5 sweep (N = number of threads).
+/// For SMT the returned delay includes the last stage's routing-select
+/// generation (it no longer overlaps anything).
+[[nodiscard]] Circuit csmt_serial_control(int n_threads,
+                                          const MachineConfig& machine);
+[[nodiscard]] Circuit csmt_parallel_control(int n_threads,
+                                            const MachineConfig& machine);
+[[nodiscard]] Circuit smt_serial_control(int n_threads,
+                                         const MachineConfig& machine);
+
+}  // namespace cvmt

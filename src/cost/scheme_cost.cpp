@@ -1,0 +1,84 @@
+#include "cost/scheme_cost.hpp"
+
+#include <algorithm>
+
+namespace cvmt {
+namespace {
+
+/// Timing/area summary of a scheme subtree.
+struct NodeCost {
+  double sel_done = 0.0;      ///< when the subtree's selection is resolved
+  double routing_done = 0.0;  ///< latest routing-select completion inside
+  std::int64_t transistors = 0;
+  int threads = 0;  ///< leaves in the subtree (sizes SMT routing encoders)
+};
+
+NodeCost eval(const Scheme::Node& node, const MachineConfig& machine) {
+  if (node.is_leaf()) return {0.0, 0.0, 0, 1};
+
+  if (node.parallel) {
+    // One wide CSMT block; all inputs must have resolved their selection.
+    NodeCost out;
+    for (const auto& child : node.children) {
+      const NodeCost c = eval(child, machine);
+      out.sel_done = std::max(out.sel_done, c.sel_done);
+      out.routing_done = std::max(out.routing_done, c.routing_done);
+      out.transistors += c.transistors;
+      out.threads += c.threads;
+    }
+    const Circuit block =
+        csmt_parallel_block(static_cast<int>(node.children.size()), machine);
+    out.sel_done += block.delay;
+    out.transistors += block.transistors;
+    return out;
+  }
+
+  // Serial node: fold children left to right, one merge stage per input.
+  NodeCost acc = eval(node.children[0], machine);
+  for (std::size_t i = 1; i < node.children.size(); ++i) {
+    const NodeCost in = eval(node.children[i], machine);
+    const double input_ready = std::max(acc.sel_done, in.sel_done);
+    acc.routing_done = std::max(acc.routing_done, in.routing_done);
+    acc.transistors += in.transistors;
+    switch (node.kind) {
+      case MergeKind::kCsmt: {
+        const Circuit stage = csmt_serial_stage(machine);
+        acc.sel_done = input_ready + stage.delay;
+        acc.transistors += stage.transistors;
+        break;
+      }
+      case MergeKind::kSmt: {
+        const SmtStageCost stage =
+            smt_stage(acc.threads, in.threads, machine);
+        acc.sel_done = input_ready + stage.selection.delay;
+        acc.transistors +=
+            stage.selection.transistors + stage.routing.transistors;
+        // Routing starts once this stage's selection is known; it
+        // overlaps whatever comes after.
+        acc.routing_done =
+            std::max(acc.routing_done, acc.sel_done + stage.routing.delay);
+        break;
+      }
+      case MergeKind::kSelect: {
+        // IMT-style valid-bit arbitration: one priority cell per input.
+        acc.sel_done = input_ready + 1.0;
+        acc.transistors += gates::priority_encoder(2).transistors;
+        break;
+      }
+    }
+    acc.threads += in.threads;
+  }
+  return acc;
+}
+
+}  // namespace
+
+SchemeCost scheme_cost(const Scheme& scheme, const MachineConfig& machine) {
+  if (scheme.num_threads() < 2) return {0, 0.0};
+  const NodeCost root = eval(scheme.root(), machine);
+  const Circuit epi = grant_epilogue(scheme.num_threads(), machine);
+  return {root.transistors + epi.transistors,
+          std::max(root.sel_done + epi.delay, root.routing_done)};
+}
+
+}  // namespace cvmt

@@ -1,0 +1,30 @@
+// Hardware cost of a full merging scheme (paper §4.2, Figs 9/11/12).
+//
+// Transistor counts simply accumulate over the scheme's merge blocks. The
+// delay composition captures the paper's two structural observations:
+//
+//  1. Tree schemes evaluate their groups concurrently, so level-1 blocks
+//     overlap (2CC has fewer levels than 3CCC and a lower delay).
+//  2. An SMT stage's routing-select computation overlaps all *later*
+//     stages' selection logic. Placing SMT early (3SCC, 2SC3) hides the
+//     routing latency behind the trailing CSMT levels; placing it late
+//     (3CCS) exposes it, and 3SSC beats 3SCS/3CSS for the same reason.
+#pragma once
+
+#include "core/scheme.hpp"
+#include "cost/merge_control_cost.hpp"
+
+namespace cvmt {
+
+/// Total merge-control cost of a scheme.
+struct SchemeCost {
+  std::int64_t transistors = 0;
+  double gate_delay = 0.0;
+};
+
+/// Computes merge-control cost for `scheme` on `machine`. The degenerate
+/// single-thread scheme costs nothing.
+[[nodiscard]] SchemeCost scheme_cost(const Scheme& scheme,
+                                     const MachineConfig& machine);
+
+}  // namespace cvmt

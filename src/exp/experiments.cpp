@@ -1,0 +1,211 @@
+#include "exp/experiments.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+/// Runs one Table 2 workload under `scheme` and returns total IPC.
+double workload_ipc(const Scheme& scheme, const Workload& wl,
+                    ProgramLibrary& lib, const SimConfig& sim) {
+  return run_workload(scheme, wl, lib, sim).ipc;
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::from_env() {
+  ExperimentConfig cfg;
+  if (env_u64("CVMT_FAST", 0) != 0) {
+    cfg.sim.instruction_budget = 60'000;
+    cfg.sim.timeslice_cycles = 10'000;
+  }
+  cfg.sim.instruction_budget =
+      env_u64("CVMT_BUDGET", cfg.sim.instruction_budget);
+  cfg.sim.timeslice_cycles =
+      env_u64("CVMT_TIMESLICE", cfg.sim.timeslice_cycles);
+  return cfg;
+}
+
+std::vector<Table1Row> run_table1(const ExperimentConfig& cfg) {
+  ProgramLibrary lib(cfg.sim.machine);
+  lib.build_all();
+  const auto& profiles = table1_profiles();
+  std::vector<Table1Row> rows(profiles.size());
+
+#ifdef CVMT_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const BenchmarkProfile& p = profiles[i];
+    const auto program = lib.lookup(p.name);
+    const Scheme single = Scheme::single_thread();
+
+    SimConfig real = cfg.sim;
+    SimConfig perfect = cfg.sim;
+    perfect.mem.perfect = true;
+
+    Table1Row row;
+    row.name = p.name;
+    row.ilp = to_char(p.ilp);
+    row.paper_ipc_real = p.target_ipc_real;
+    row.paper_ipc_perfect = p.target_ipc_perfect;
+    row.sim_ipc_real = run_simulation(single, {program}, real).ipc;
+    row.sim_ipc_perfect = run_simulation(single, {program}, perfect).ipc;
+    rows[i] = std::move(row);
+  }
+  return rows;
+}
+
+std::vector<Fig4Row> run_fig4(const ExperimentConfig& cfg) {
+  ProgramLibrary lib(cfg.sim.machine);
+  lib.build_all();
+  const auto& workloads = table2_workloads();
+
+  const Scheme configs[] = {Scheme::single_thread(), Scheme::parse("1S"),
+                            Scheme::parse("3SSS")};
+  const char* names[] = {"Single-thread", "2-Thread", "4-Thread"};
+
+  std::vector<Fig4Row> rows;
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    std::vector<double> ipcs(workloads.size(), 0.0);
+#ifdef CVMT_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+      ipcs[w] = workload_ipc(configs[c], workloads[w], lib, cfg.sim);
+    for (double v : ipcs) sum += v;
+    rows.push_back({names[c], sum / static_cast<double>(workloads.size())});
+  }
+  return rows;
+}
+
+std::vector<Fig5Row> run_fig5(const MachineConfig& machine, int min_threads,
+                              int max_threads) {
+  CVMT_CHECK(min_threads >= 2 && max_threads >= min_threads);
+  std::vector<Fig5Row> rows;
+  for (int n = min_threads; n <= max_threads; ++n) {
+    Fig5Row row;
+    row.threads = n;
+    row.csmt_serial = csmt_serial_control(n, machine);
+    row.csmt_parallel = csmt_parallel_control(n, machine);
+    row.smt = smt_serial_control(n, machine);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig6Row> run_fig6(const ExperimentConfig& cfg) {
+  ProgramLibrary lib(cfg.sim.machine);
+  lib.build_all();
+  const auto& workloads = table2_workloads();
+  const Scheme smt = Scheme::parse("3SSS");
+  const Scheme csmt = Scheme::parse("3CCC");
+
+  std::vector<Fig6Row> rows(workloads.size());
+#ifdef CVMT_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    Fig6Row row;
+    row.workload = workloads[w].ilp_combo;
+    row.smt_ipc = workload_ipc(smt, workloads[w], lib, cfg.sim);
+    row.csmt_ipc = workload_ipc(csmt, workloads[w], lib, cfg.sim);
+    row.advantage_pct = percent_diff(row.smt_ipc, row.csmt_ipc);
+    rows[w] = std::move(row);
+  }
+  return rows;
+}
+
+std::vector<Fig9Row> run_fig9(const MachineConfig& machine) {
+  std::vector<Fig9Row> rows;
+  for (const Scheme& s : Scheme::paper_schemes_4t()) {
+    const SchemeCost c = scheme_cost(s, machine);
+    rows.push_back({s.name(), c.gate_delay, c.transistors});
+  }
+  return rows;
+}
+
+double Fig10Result::ipc_of(std::string_view scheme,
+                           std::string_view workload) const {
+  for (std::size_t w = 0; w < workloads.size(); ++w)
+    if (workloads[w] == workload)
+      for (std::size_t s = 0; s < schemes.size(); ++s)
+        if (schemes[s] == scheme) return ipc[w][s];
+  CVMT_CHECK_MSG(false, "unknown scheme/workload pair");
+  __builtin_unreachable();
+}
+
+double Fig10Result::average_of(std::string_view scheme) const {
+  for (std::size_t s = 0; s < schemes.size(); ++s)
+    if (schemes[s] == scheme) return average[s];
+  CVMT_CHECK_MSG(false, "unknown scheme: " + std::string(scheme));
+  __builtin_unreachable();
+}
+
+Fig10Result run_fig10(const ExperimentConfig& cfg) {
+  ProgramLibrary lib(cfg.sim.machine);
+  lib.build_all();
+  const auto& workloads = table2_workloads();
+  const std::vector<Scheme> schemes = Scheme::paper_schemes_4t();
+
+  Fig10Result r;
+  for (const Scheme& s : schemes) r.schemes.push_back(s.name());
+  for (const Workload& w : workloads) r.workloads.push_back(w.ilp_combo);
+  r.ipc.assign(workloads.size(),
+               std::vector<double>(schemes.size(), 0.0));
+
+  // Flatten the (workload, scheme) grid for the parallel sweep.
+  const std::size_t total = workloads.size() * schemes.size();
+#ifdef CVMT_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::size_t k = 0; k < total; ++k) {
+    const std::size_t w = k / schemes.size();
+    const std::size_t s = k % schemes.size();
+    r.ipc[w][s] = workload_ipc(schemes[s], workloads[w], lib, cfg.sim);
+  }
+
+  r.average.assign(schemes.size(), 0.0);
+  for (std::size_t s = 0; s < schemes.size(); ++s) {
+    double sum = 0.0;
+    for (std::size_t w = 0; w < workloads.size(); ++w) sum += r.ipc[w][s];
+    r.average[s] = sum / static_cast<double>(workloads.size());
+  }
+  return r;
+}
+
+std::vector<ParetoPoint> pareto_points(const Fig10Result& fig10,
+                                       const MachineConfig& machine) {
+  std::vector<ParetoPoint> points;
+  for (std::size_t s = 0; s < fig10.schemes.size(); ++s) {
+    const Scheme scheme = Scheme::parse(fig10.schemes[s]);
+    const SchemeCost c = scheme_cost(scheme, machine);
+    points.push_back(
+        {fig10.schemes[s], fig10.average[s], c.transistors, c.gate_delay});
+  }
+  return points;
+}
+
+HeadlineRelations headline_relations(const Fig10Result& f) {
+  HeadlineRelations h;
+  const double sc3 = f.average_of("2SC3");
+  const double csmt = f.average_of("3CCC");
+  const double smt2 = f.average_of("1S");
+  const double smt4 = f.average_of("3SSS");
+  h.sc3_vs_csmt_pct = percent_diff(sc3, csmt);
+  h.sc3_vs_1s_pct = percent_diff(sc3, smt2);
+  h.sc3_vs_smt4_pct = percent_diff(sc3, smt4);
+  h.smt4_vs_1s_pct = percent_diff(smt4, smt2);
+  return h;
+}
+
+}  // namespace cvmt

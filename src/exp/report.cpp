@@ -1,0 +1,115 @@
+#include "exp/report.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "support/string_util.hpp"
+
+namespace cvmt {
+namespace {
+std::string fx(double v, int d = 2) { return format_fixed(v, d); }
+}  // namespace
+
+TableWriter render_table1(const std::vector<Table1Row>& rows) {
+  TableWriter t({"Benchmark", "ILP", "IPCr(paper)", "IPCr(sim)",
+                 "IPCp(paper)", "IPCp(sim)"});
+  for (const auto& r : rows)
+    t.add_row({r.name, std::string(1, r.ilp), fx(r.paper_ipc_real),
+               fx(r.sim_ipc_real), fx(r.paper_ipc_perfect),
+               fx(r.sim_ipc_perfect)});
+  return t;
+}
+
+TableWriter render_table2() {
+  TableWriter t({"ILP Comb", "Thread 0", "Thread 1", "Thread 2",
+                 "Thread 3"});
+  for (const Workload& w : table2_workloads())
+    t.add_row({w.ilp_combo, w.benchmarks[0], w.benchmarks[1],
+               w.benchmarks[2], w.benchmarks[3]});
+  return t;
+}
+
+TableWriter render_fig4(const std::vector<Fig4Row>& rows) {
+  TableWriter t({"Processor", "Avg IPC"});
+  for (const auto& r : rows) t.add_row({r.processor, fx(r.avg_ipc)});
+  return t;
+}
+
+TableWriter render_fig5(const std::vector<Fig5Row>& rows) {
+  TableWriter t({"Threads", "CSMT SL trans", "CSMT PL trans", "SMT trans",
+                 "CSMT SL delay", "CSMT PL delay", "SMT delay"});
+  for (const auto& r : rows)
+    t.add_row({std::to_string(r.threads),
+               format_grouped(r.csmt_serial.transistors),
+               format_grouped(r.csmt_parallel.transistors),
+               format_grouped(r.smt.transistors), fx(r.csmt_serial.delay, 1),
+               fx(r.csmt_parallel.delay, 1), fx(r.smt.delay, 1)});
+  return t;
+}
+
+TableWriter render_fig6(const std::vector<Fig6Row>& rows) {
+  TableWriter t({"Workload", "SMT IPC", "CSMT IPC", "SMT advantage %"});
+  double sum = 0.0;
+  for (const auto& r : rows) {
+    t.add_row({r.workload, fx(r.smt_ipc), fx(r.csmt_ipc),
+               fx(r.advantage_pct, 1)});
+    sum += r.advantage_pct;
+  }
+  t.add_separator();
+  t.add_row({"Average", "", "",
+             fx(sum / static_cast<double>(rows.size()), 1)});
+  return t;
+}
+
+TableWriter render_fig9(const std::vector<Fig9Row>& rows) {
+  TableWriter t({"Scheme", "Gate delays", "Transistors"});
+  for (const auto& r : rows)
+    t.add_row({r.scheme, fx(r.gate_delay, 1),
+               format_grouped(r.transistors)});
+  return t;
+}
+
+TableWriter render_fig10(const Fig10Result& result) {
+  std::vector<std::string> header{"Workload"};
+  for (const auto& s : result.schemes) header.push_back(s);
+  TableWriter t(std::move(header));
+  for (std::size_t w = 0; w < result.workloads.size(); ++w) {
+    std::vector<std::string> row{result.workloads[w]};
+    for (double v : result.ipc[w]) row.push_back(fx(v));
+    t.add_row(std::move(row));
+  }
+  t.add_separator();
+  std::vector<std::string> avg{"Average"};
+  for (double v : result.average) avg.push_back(fx(v));
+  t.add_row(std::move(avg));
+  return t;
+}
+
+TableWriter render_pareto(const std::vector<ParetoPoint>& points) {
+  TableWriter t({"Scheme", "Avg IPC", "Transistors", "Gate delays"});
+  for (const auto& p : points)
+    t.add_row({p.scheme, fx(p.avg_ipc), format_grouped(p.transistors),
+               fx(p.gate_delay, 1)});
+  return t;
+}
+
+void print_headlines(std::ostream& os, const HeadlineRelations& h) {
+  os << "2SC3 vs 4-thread CSMT (3CCC): " << fx(h.sc3_vs_csmt_pct, 1)
+     << "% (paper: +14%)\n"
+     << "2SC3 vs 2-thread SMT (1S):    " << fx(h.sc3_vs_1s_pct, 1)
+     << "% (paper: +45%)\n"
+     << "2SC3 vs 4-thread SMT (3SSS):  " << fx(h.sc3_vs_smt4_pct, 1)
+     << "% (paper: -11%)\n"
+     << "3SSS vs 1S:                   " << fx(h.smt4_vs_1s_pct, 1)
+     << "% (paper's Fig 4 trend: +61% over 2-thread)\n";
+}
+
+void emit(std::ostream& os, const TableWriter& table) {
+  table.print(os);
+  if (const char* csv = std::getenv("CVMT_CSV"); csv && *csv == '1') {
+    os << "\n[csv]\n";
+    table.print_csv(os);
+  }
+}
+
+}  // namespace cvmt

@@ -1,0 +1,45 @@
+// Rendering of experiment results into paper-style tables. Shared by the
+// bench binaries and the examples so every consumer prints the same rows
+// the paper reports.
+#pragma once
+
+#include <iosfwd>
+
+#include "exp/experiments.hpp"
+#include "support/table.hpp"
+
+namespace cvmt {
+
+/// Table 1: benchmarks with paper vs simulated IPCr / IPCp.
+[[nodiscard]] TableWriter render_table1(const std::vector<Table1Row>& rows);
+
+/// Table 2: workload compositions.
+[[nodiscard]] TableWriter render_table2();
+
+/// Fig 4: average SMT IPC per processor configuration.
+[[nodiscard]] TableWriter render_fig4(const std::vector<Fig4Row>& rows);
+
+/// Fig 5: merge-control cost vs thread count.
+[[nodiscard]] TableWriter render_fig5(const std::vector<Fig5Row>& rows);
+
+/// Fig 6: SMT advantage over CSMT per workload (with average row).
+[[nodiscard]] TableWriter render_fig6(const std::vector<Fig6Row>& rows);
+
+/// Fig 9: per-scheme gate delays and transistor counts.
+[[nodiscard]] TableWriter render_fig9(const std::vector<Fig9Row>& rows);
+
+/// Fig 10: IPC per workload for every scheme (plus Average row).
+[[nodiscard]] TableWriter render_fig10(const Fig10Result& result);
+
+/// Fig 11/12: performance vs transistors / gate delays.
+[[nodiscard]] TableWriter render_pareto(
+    const std::vector<ParetoPoint>& points);
+
+/// Prints the conclusion's headline percentages.
+void print_headlines(std::ostream& os, const HeadlineRelations& h);
+
+/// Prints `table`, then a CSV copy if the CVMT_CSV environment variable is
+/// set (machine-readable output for plotting scripts).
+void emit(std::ostream& os, const TableWriter& table);
+
+}  // namespace cvmt

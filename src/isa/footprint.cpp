@@ -1,0 +1,98 @@
+#include "isa/footprint.hpp"
+
+#include <bit>
+
+namespace cvmt {
+
+Footprint Footprint::of(const Instruction& instr,
+                        const MachineConfig& config) {
+  Footprint fp;
+  for (const Operation& op : instr) {
+    CVMT_DCHECK(op.cluster < config.num_clusters);
+    CVMT_DCHECK(op.slot < config.issue_per_cluster);
+    ClusterUse& use = fp.use_[op.cluster];
+    if (is_fixed_slot(op.kind)) {
+      const auto bit = static_cast<std::uint8_t>(1u << op.slot);
+      CVMT_DCHECK((use.fixed_mask & bit) == 0);
+      use.fixed_mask = static_cast<std::uint8_t>(use.fixed_mask | bit);
+    }
+    ++use.op_count;
+    CVMT_DCHECK(use.op_count <= config.issue_per_cluster);
+    fp.cluster_mask_ |= 1u << op.cluster;
+    ++fp.total_ops_;
+  }
+  return fp;
+}
+
+bool Footprint::smt_compatible(const Footprint& a, const Footprint& b,
+                               const MachineConfig& config) {
+  // Only clusters used by both packets can conflict.
+  std::uint32_t shared = a.cluster_mask_ & b.cluster_mask_;
+  while (shared != 0) {
+    const int c = std::countr_zero(shared);
+    shared &= shared - 1;
+    const ClusterUse& ua = a.use_[static_cast<std::size_t>(c)];
+    const ClusterUse& ub = b.use_[static_cast<std::size_t>(c)];
+    if ((ua.fixed_mask & ub.fixed_mask) != 0) return false;
+    if (ua.op_count + ub.op_count > config.issue_per_cluster) return false;
+  }
+  return true;
+}
+
+void Footprint::merge_with(const Footprint& b, const MachineConfig& config) {
+  CVMT_DCHECK(smt_compatible(*this, b, config));
+  std::uint32_t mask = b.cluster_mask_;
+  while (mask != 0) {
+    const int c = std::countr_zero(mask);
+    mask &= mask - 1;
+    ClusterUse& ua = use_[static_cast<std::size_t>(c)];
+    const ClusterUse& ub = b.use_[static_cast<std::size_t>(c)];
+    ua.fixed_mask = static_cast<std::uint8_t>(ua.fixed_mask | ub.fixed_mask);
+    ua.op_count = static_cast<std::uint8_t>(ua.op_count + ub.op_count);
+  }
+  cluster_mask_ |= b.cluster_mask_;
+  total_ops_ += b.total_ops_;
+}
+
+Instruction route_merge(const Instruction& a, const Instruction& b,
+                        const MachineConfig& config) {
+  const Footprint fa = Footprint::of(a, config);
+  const Footprint fb = Footprint::of(b, config);
+  CVMT_CHECK_MSG(Footprint::smt_compatible(fa, fb, config),
+                 "route_merge requires SMT-compatible packets");
+
+  Instruction merged;
+  merged.set_pc(a.pc());
+  std::uint32_t occupied[kMaxClusters] = {};
+
+  // Pass 1: fixed-slot ops of both packets keep their compiler-assigned
+  // slots (they cannot be rerouted).
+  for (const Instruction* src : {&a, &b}) {
+    for (const Operation& op : *src) {
+      if (!is_fixed_slot(op.kind)) continue;
+      occupied[op.cluster] |= 1u << op.slot;
+      merged.add(op);
+    }
+  }
+  // Pass 2: ALU ops. Packet a's ops prefer their original slot; any
+  // displaced op takes the lowest free slot of its cluster.
+  for (const Instruction* src : {&a, &b}) {
+    for (const Operation& op : *src) {
+      if (is_fixed_slot(op.kind)) continue;
+      std::uint32_t& occ = occupied[op.cluster];
+      Operation placed = op;
+      if ((occ & (1u << op.slot)) != 0) {
+        const std::uint32_t all =
+            (1u << static_cast<unsigned>(config.issue_per_cluster)) - 1u;
+        const std::uint32_t free = all & ~occ;
+        CVMT_CHECK_MSG(free != 0, "routing overflow despite compatibility");
+        placed.slot = static_cast<std::uint8_t>(std::countr_zero(free));
+      }
+      occ |= 1u << placed.slot;
+      merged.add(placed);
+    }
+  }
+  return merged;
+}
+
+}  // namespace cvmt

@@ -1,0 +1,87 @@
+// Resource footprints and the SMT / CSMT merge-compatibility predicates.
+//
+// A footprint is the sufficient statistic of an instruction (or an already
+// accumulated execution packet) for both merge checks of the paper (§2):
+//
+//   * CSMT merges two packets iff their *cluster* footprints are disjoint.
+//   * SMT merges two packets iff, in every cluster, fixed-slot operations do
+//     not collide slot-wise and the combined operation count fits the issue
+//     width (ALU operations can be rerouted to any free slot).
+//
+// Packets always merge in their entirety (no partial issue) — VLIW
+// semantics forbid splitting an instruction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "isa/machine_config.hpp"
+
+namespace cvmt {
+
+/// Per-cluster resource usage of a packet.
+struct ClusterUse {
+  std::uint8_t fixed_mask = 0;  ///< slots occupied by non-reroutable ops
+  std::uint8_t op_count = 0;    ///< total operations placed in the cluster
+
+  friend constexpr bool operator==(const ClusterUse&,
+                                   const ClusterUse&) = default;
+};
+
+/// Resource footprint of an instruction or merged execution packet.
+class Footprint {
+ public:
+  Footprint() = default;
+
+  /// Computes the footprint of `instr` under `config`. The instruction must
+  /// be valid (placement in range); enforced with debug checks.
+  [[nodiscard]] static Footprint of(const Instruction& instr,
+                                    const MachineConfig& config);
+
+  /// Bit c set <=> cluster c holds at least one operation.
+  [[nodiscard]] std::uint32_t cluster_mask() const { return cluster_mask_; }
+
+  [[nodiscard]] const ClusterUse& cluster(int c) const {
+    return use_[static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] int total_ops() const { return total_ops_; }
+  [[nodiscard]] bool empty() const { return cluster_mask_ == 0; }
+
+  /// CSMT check: cluster-level disjointness.
+  [[nodiscard]] static bool csmt_compatible(const Footprint& a,
+                                            const Footprint& b) {
+    return (a.cluster_mask_ & b.cluster_mask_) == 0;
+  }
+
+  /// SMT check: per-cluster fixed-slot disjointness + issue-width fit.
+  [[nodiscard]] static bool smt_compatible(const Footprint& a,
+                                           const Footprint& b,
+                                           const MachineConfig& config);
+
+  /// In-place union. Caller must have established compatibility under the
+  /// merge kind in use; checked in debug builds for the SMT (weaker)
+  /// predicate.
+  void merge_with(const Footprint& b, const MachineConfig& config);
+
+  friend bool operator==(const Footprint& a, const Footprint& b) {
+    return a.cluster_mask_ == b.cluster_mask_ && a.use_ == b.use_ &&
+           a.total_ops_ == b.total_ops_;
+  }
+
+ private:
+  std::array<ClusterUse, kMaxClusters> use_{};
+  std::uint32_t cluster_mask_ = 0;
+  int total_ops_ = 0;
+};
+
+/// Materialises the SMT-merged execution packet: fixed ops keep their slots,
+/// ALU ops of both packets are routed to free slots of their cluster
+/// (packet `a` keeps its placement where possible, `b` is rerouted — mirrors
+/// the routing block of Fig 2). Requires smt_compatible(a, b).
+[[nodiscard]] Instruction route_merge(const Instruction& a,
+                                      const Instruction& b,
+                                      const MachineConfig& config);
+
+}  // namespace cvmt

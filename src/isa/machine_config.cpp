@@ -1,0 +1,116 @@
+#include "isa/machine_config.hpp"
+
+#include <bit>
+
+namespace cvmt {
+
+MachineConfig MachineConfig::vex4x4() {
+  MachineConfig c;
+  c.num_clusters = 4;
+  c.issue_per_cluster = 4;
+  c.mul_slot_mask = 0b0011;
+  c.mem_slot_mask = 0b0100;
+  c.branch_slot_mask = 0b1000;
+  c.validate();
+  return c;
+}
+
+MachineConfig MachineConfig::vex4x2() {
+  MachineConfig c;
+  c.num_clusters = 4;
+  c.issue_per_cluster = 2;
+  // With two slots per cluster the fixed units share them: slot 0 carries
+  // the multiplier, slot 1 the LSU and branch unit.
+  c.mul_slot_mask = 0b01;
+  c.mem_slot_mask = 0b10;
+  c.branch_slot_mask = 0b10;
+  c.validate();
+  return c;
+}
+
+MachineConfig MachineConfig::clustered(int num_clusters,
+                                       int issue_per_cluster) {
+  MachineConfig c;
+  c.num_clusters = num_clusters;
+  c.issue_per_cluster = issue_per_cluster;
+  const int w = issue_per_cluster;
+  if (w >= 4) {
+    c.mul_slot_mask = 0b0011;
+    c.mem_slot_mask = 1u << (w - 2);
+    c.branch_slot_mask = 1u << (w - 1);
+  } else if (w == 3) {
+    c.mul_slot_mask = 0b001;
+    c.mem_slot_mask = 0b010;
+    c.branch_slot_mask = 0b100;
+  } else if (w == 2) {
+    c.mul_slot_mask = 0b01;
+    c.mem_slot_mask = 0b10;
+    c.branch_slot_mask = 0b10;
+  } else {
+    c.mul_slot_mask = c.mem_slot_mask = c.branch_slot_mask = 0b1;
+  }
+  c.validate();
+  return c;
+}
+
+std::uint32_t MachineConfig::slots_for(OpKind kind) const {
+  const std::uint32_t all =
+      (issue_per_cluster >= 32)
+          ? ~0u
+          : ((1u << static_cast<unsigned>(issue_per_cluster)) - 1u);
+  switch (kind) {
+    case OpKind::kAlu: return all;
+    case OpKind::kMul: return mul_slot_mask;
+    case OpKind::kLoad:
+    case OpKind::kStore: return mem_slot_mask;
+    case OpKind::kBranch: return branch_slot_mask;
+  }
+  return 0;
+}
+
+int MachineConfig::latency_of(OpKind kind) const {
+  switch (kind) {
+    case OpKind::kAlu: return alu_latency;
+    case OpKind::kMul: return mul_latency;
+    case OpKind::kLoad:
+    case OpKind::kStore: return mem_latency;
+    case OpKind::kBranch: return alu_latency;
+  }
+  return 1;
+}
+
+void MachineConfig::validate() const {
+  CVMT_CHECK_MSG(num_clusters >= 1 && num_clusters <= kMaxClusters,
+                 "cluster count out of range");
+  CVMT_CHECK_MSG(
+      issue_per_cluster >= 1 && issue_per_cluster <= kMaxIssuePerCluster,
+      "issue width out of range");
+  CVMT_CHECK_MSG(num_clusters * issue_per_cluster <= kMaxTotalOps,
+                 "total issue width exceeds kMaxTotalOps");
+  const std::uint32_t all =
+      (1u << static_cast<unsigned>(issue_per_cluster)) - 1u;
+  CVMT_CHECK_MSG((mul_slot_mask & ~all) == 0, "mul slot beyond issue width");
+  CVMT_CHECK_MSG((mem_slot_mask & ~all) == 0, "mem slot beyond issue width");
+  CVMT_CHECK_MSG((branch_slot_mask & ~all) == 0,
+                 "branch slot beyond issue width");
+  CVMT_CHECK_MSG(mul_slot_mask != 0, "machine needs at least one multiplier");
+  CVMT_CHECK_MSG(mem_slot_mask != 0, "machine needs at least one LSU");
+  CVMT_CHECK_MSG(branch_slot_mask != 0,
+                 "machine needs at least one branch unit");
+  CVMT_CHECK_MSG(alu_latency >= 1 && mul_latency >= 1 && mem_latency >= 1,
+                 "latencies must be positive");
+  CVMT_CHECK_MSG(taken_branch_penalty >= 0, "negative branch penalty");
+}
+
+bool operator==(const MachineConfig& a, const MachineConfig& b) {
+  return a.num_clusters == b.num_clusters &&
+         a.issue_per_cluster == b.issue_per_cluster &&
+         a.mul_slot_mask == b.mul_slot_mask &&
+         a.mem_slot_mask == b.mem_slot_mask &&
+         a.branch_slot_mask == b.branch_slot_mask &&
+         a.alu_latency == b.alu_latency && a.mul_latency == b.mul_latency &&
+         a.mem_latency == b.mem_latency &&
+         a.taken_branch_penalty == b.taken_branch_penalty;
+}
+
+}  // namespace cvmt

@@ -1,0 +1,78 @@
+// Machine description for the clustered VLIW target.
+//
+// Defaults model the paper's evaluation machine (§5.1): a VEX derivative of
+// the HP/ST Lx ST200 family with 4 clusters x 4-issue, 2 multipliers and
+// 1 load/store unit per cluster, ALUs in every slot, 2-cycle memory and
+// multiply latency, no branch predictor and a 2-cycle taken-branch penalty
+// (dedicated merge pipeline stage).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/op_kind.hpp"
+#include "support/check.hpp"
+
+namespace cvmt {
+
+/// Hard upper bounds used to size inline containers. The paper's machine is
+/// 4x4; the ablation benches go up to 8 clusters / 8 threads.
+inline constexpr int kMaxClusters = 8;
+inline constexpr int kMaxIssuePerCluster = 8;
+inline constexpr int kMaxTotalOps = 32;
+inline constexpr int kMaxThreads = 8;
+
+/// Static description of one clustered VLIW machine. All clusters are
+/// homogeneous (as in VEX): the slot capability masks apply to each cluster.
+struct MachineConfig {
+  int num_clusters = 4;
+  int issue_per_cluster = 4;
+
+  /// Bit i set <=> slot i of every cluster has a multiplier. VEX: 2 per
+  /// cluster, in the two low slots.
+  std::uint32_t mul_slot_mask = 0b0011;
+  /// Bit i set <=> slot i can issue loads/stores. VEX: 1 LSU per cluster.
+  std::uint32_t mem_slot_mask = 0b0100;
+  /// Bit i set <=> slot i can issue branches. One branch unit per cluster.
+  std::uint32_t branch_slot_mask = 0b1000;
+
+  /// Operation latencies in cycles (paper: memory and multiply 2, rest 1).
+  int alu_latency = 1;
+  int mul_latency = 2;
+  int mem_latency = 2;
+
+  /// Squash penalty for a taken branch (no predictor, fall-through path
+  /// predicted; includes the dedicated thread-merge pipeline stage).
+  int taken_branch_penalty = 2;
+
+  /// The paper's 16-issue machine: 4 clusters x 4 issue slots.
+  [[nodiscard]] static MachineConfig vex4x4();
+
+  /// The 8-issue machine of the paper's Fig 1 worked example
+  /// (4 clusters x 2 issue).
+  [[nodiscard]] static MachineConfig vex4x2();
+
+  /// A generic clustered machine for shape-sweep ablations: ALUs in every
+  /// slot, up to two multipliers in the low slots, the LSU and branch unit
+  /// in the high slots (they share a slot on narrow clusters).
+  [[nodiscard]] static MachineConfig clustered(int num_clusters,
+                                               int issue_per_cluster);
+
+  [[nodiscard]] int total_issue_width() const {
+    return num_clusters * issue_per_cluster;
+  }
+
+  /// Mask of slots able to execute `kind` (ALU: all slots).
+  [[nodiscard]] std::uint32_t slots_for(OpKind kind) const;
+
+  /// Latency in cycles of `kind` under this machine.
+  [[nodiscard]] int latency_of(OpKind kind) const;
+
+  /// Throws CheckError when structurally invalid (e.g. capability mask
+  /// names a slot beyond issue_per_cluster).
+  void validate() const;
+};
+
+/// Value equality (used by tests and config plumbing).
+[[nodiscard]] bool operator==(const MachineConfig& a, const MachineConfig& b);
+
+}  // namespace cvmt

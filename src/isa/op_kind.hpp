@@ -1,0 +1,48 @@
+// Operation kinds of the VEX-like ISA.
+//
+// The base architecture (paper §5.1, footnote 1) executes ALU operations in
+// any issue slot, while memory, multiply and branch operations are bound to
+// fixed slots. That asymmetry is what distinguishes SMT operation-level
+// merging (reroute ALUs, keep fixed ops in place) from CSMT cluster-level
+// merging (all-or-nothing per cluster).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cvmt {
+
+/// Kind of a single VLIW operation (syllable).
+enum class OpKind : std::uint8_t {
+  kAlu = 0,     ///< single-cycle integer op; executes in any slot
+  kMul = 1,     ///< 2-cycle multiply; fixed multiplier slots
+  kLoad = 2,    ///< 2-cycle memory load; fixed load/store slot
+  kStore = 3,   ///< memory store; fixed load/store slot
+  kBranch = 4,  ///< (conditional) branch; fixed branch slot
+};
+
+inline constexpr int kNumOpKinds = 5;
+
+/// True for kinds that the compiler schedules into fixed issue slots and the
+/// SMT router therefore cannot move.
+[[nodiscard]] constexpr bool is_fixed_slot(OpKind k) {
+  return k != OpKind::kAlu;
+}
+
+/// True for loads and stores (the kinds that access the DCache).
+[[nodiscard]] constexpr bool is_memory(OpKind k) {
+  return k == OpKind::kLoad || k == OpKind::kStore;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kAlu: return "alu";
+    case OpKind::kMul: return "mpy";
+    case OpKind::kLoad: return "ld";
+    case OpKind::kStore: return "st";
+    case OpKind::kBranch: return "br";
+  }
+  return "?";
+}
+
+}  // namespace cvmt

@@ -1,0 +1,54 @@
+// A single VLIW operation (syllable).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/op_kind.hpp"
+
+namespace cvmt {
+
+/// One operation inside a VLIW instruction. Since the simulator is
+/// trace-driven, only the fields with timing significance are modelled:
+/// placement (cluster/slot), kind, the effective address of memory ops and
+/// the resolved direction of branches.
+struct Operation {
+  OpKind kind = OpKind::kAlu;
+  std::uint8_t cluster = 0;
+  std::uint8_t slot = 0;
+  /// Branches only: true if the branch is taken (the trace resolves
+  /// direction; the machine has no predictor, so taken costs the squash
+  /// penalty).
+  bool taken = false;
+  /// Loads/stores only: byte address fed to the DCache model.
+  std::uint64_t addr = 0;
+
+  friend constexpr bool operator==(const Operation&,
+                                   const Operation&) = default;
+};
+
+/// Convenience constructors used heavily by tests and the trace generator.
+[[nodiscard]] constexpr Operation make_alu(int cluster, int slot) {
+  return {OpKind::kAlu, static_cast<std::uint8_t>(cluster),
+          static_cast<std::uint8_t>(slot), false, 0};
+}
+[[nodiscard]] constexpr Operation make_mul(int cluster, int slot) {
+  return {OpKind::kMul, static_cast<std::uint8_t>(cluster),
+          static_cast<std::uint8_t>(slot), false, 0};
+}
+[[nodiscard]] constexpr Operation make_load(int cluster, int slot,
+                                            std::uint64_t addr) {
+  return {OpKind::kLoad, static_cast<std::uint8_t>(cluster),
+          static_cast<std::uint8_t>(slot), false, addr};
+}
+[[nodiscard]] constexpr Operation make_store(int cluster, int slot,
+                                             std::uint64_t addr) {
+  return {OpKind::kStore, static_cast<std::uint8_t>(cluster),
+          static_cast<std::uint8_t>(slot), false, addr};
+}
+[[nodiscard]] constexpr Operation make_branch(int cluster, int slot,
+                                              bool taken) {
+  return {OpKind::kBranch, static_cast<std::uint8_t>(cluster),
+          static_cast<std::uint8_t>(slot), taken, 0};
+}
+
+}  // namespace cvmt

@@ -1,0 +1,75 @@
+#include "mem/cache.hpp"
+
+#include <bit>
+
+namespace cvmt {
+
+void CacheConfig::validate() const {
+  CVMT_CHECK_MSG(std::has_single_bit(static_cast<std::uint64_t>(line_bytes)),
+                 "line size must be a power of two");
+  CVMT_CHECK_MSG(ways >= 1, "at least one way");
+  CVMT_CHECK_MSG(size_bytes % (static_cast<std::uint64_t>(line_bytes) * ways)
+                     == 0,
+                 "size must be a multiple of line*ways");
+  CVMT_CHECK_MSG(std::has_single_bit(num_sets()),
+                 "set count must be a power of two");
+  CVMT_CHECK_MSG(miss_penalty >= 0, "negative miss penalty");
+}
+
+SetAssocCache::SetAssocCache(const CacheConfig& config)
+    : config_(config), num_sets_(config.num_sets()) {
+  config_.validate();
+  lines_.resize(num_sets_ * config_.ways);
+}
+
+std::uint64_t SetAssocCache::set_index(std::uint64_t addr) const {
+  return (addr / config_.line_bytes) & (num_sets_ - 1);
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
+  return (addr / config_.line_bytes) / num_sets_;
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[set * config_.ways];
+  ++clock_;
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.last_used = clock_;
+      stats_.record(true);
+      return true;
+    }
+    // Prefer an invalid way; otherwise the least recently used one.
+    if (!line.valid) {
+      if (victim->valid) victim = &line;
+    } else if (victim->valid && line.last_used < victim->last_used) {
+      victim = &line;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_used = clock_;
+  stats_.record(false);
+  return false;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[set * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (Line& line : lines_) line = Line{};
+  clock_ = 0;
+}
+
+}  // namespace cvmt

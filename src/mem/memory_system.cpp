@@ -1,0 +1,61 @@
+#include "mem/memory_system.hpp"
+
+namespace cvmt {
+
+MemorySystem::MemorySystem(const MemorySystemConfig& config, int num_threads)
+    : config_(config), num_threads_(num_threads) {
+  CVMT_CHECK(num_threads >= 1);
+  const int n = config.sharing == CacheSharing::kShared ? 1 : num_threads;
+  icaches_.reserve(static_cast<std::size_t>(n));
+  dcaches_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    icaches_.emplace_back(config.icache);
+    dcaches_.emplace_back(config.dcache);
+  }
+}
+
+SetAssocCache& MemorySystem::icache_for(int tid) {
+  CVMT_DCHECK(tid >= 0 && tid < num_threads_);
+  return icaches_[config_.sharing == CacheSharing::kShared
+                      ? 0
+                      : static_cast<std::size_t>(tid)];
+}
+
+SetAssocCache& MemorySystem::dcache_for(int tid) {
+  CVMT_DCHECK(tid >= 0 && tid < num_threads_);
+  return dcaches_[config_.sharing == CacheSharing::kShared
+                      ? 0
+                      : static_cast<std::size_t>(tid)];
+}
+
+MemAccessResult MemorySystem::fetch(int tid, std::uint64_t pc) {
+  if (config_.perfect) return {true, 0};
+  const bool hit = icache_for(tid).access(pc);
+  return {hit, hit ? 0 : config_.icache.miss_penalty};
+}
+
+MemAccessResult MemorySystem::data_access(int tid, std::uint64_t addr) {
+  if (config_.perfect) return {true, 0};
+  const bool hit = dcache_for(tid).access(addr);
+  return {hit, hit ? 0 : config_.dcache.miss_penalty};
+}
+
+RatioCounter MemorySystem::icache_stats() const {
+  RatioCounter total;
+  for (const auto& c : icaches_) {
+    total.hits += c.stats().hits;
+    total.total += c.stats().total;
+  }
+  return total;
+}
+
+RatioCounter MemorySystem::dcache_stats() const {
+  RatioCounter total;
+  for (const auto& c : dcaches_) {
+    total.hits += c.stats().hits;
+    total.total += c.stats().total;
+  }
+  return total;
+}
+
+}  // namespace cvmt

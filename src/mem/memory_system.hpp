@@ -1,0 +1,63 @@
+// The memory hierarchy seen by the multithreaded core: one ICache and one
+// DCache (shared by all hardware threads, as in the ST200-derived design),
+// optionally private per thread or perfect (no misses) for the IPCp column
+// of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hpp"
+
+namespace cvmt {
+
+/// Cache sharing arrangement across hardware threads.
+enum class CacheSharing : std::uint8_t {
+  kShared,   ///< one ICache + one DCache for all threads (default)
+  kPrivate,  ///< per-thread caches (ablation)
+};
+
+/// Configuration of the whole memory system.
+struct MemorySystemConfig {
+  CacheConfig icache;  ///< 64KB 4-way, 20-cycle penalty by default
+  CacheConfig dcache;
+  CacheSharing sharing = CacheSharing::kShared;
+  /// Perfect memory: every access hits (paper's IPCp measurements).
+  bool perfect = false;
+};
+
+/// Result of a timed memory access.
+struct MemAccessResult {
+  bool hit = true;
+  int penalty_cycles = 0;  ///< 0 on hit, miss_penalty on miss
+};
+
+/// Facade over the I/D caches with per-thread routing and aggregate stats.
+class MemorySystem {
+ public:
+  MemorySystem(const MemorySystemConfig& config, int num_threads);
+
+  /// Instruction fetch of the line holding `pc` by hardware thread `tid`.
+  MemAccessResult fetch(int tid, std::uint64_t pc);
+
+  /// Data access (load or store) by hardware thread `tid`.
+  MemAccessResult data_access(int tid, std::uint64_t addr);
+
+  [[nodiscard]] const MemorySystemConfig& config() const { return config_; }
+
+  /// Aggregate hit-rate over all ICache (resp. DCache) instances.
+  [[nodiscard]] RatioCounter icache_stats() const;
+  [[nodiscard]] RatioCounter dcache_stats() const;
+
+ private:
+  [[nodiscard]] SetAssocCache& icache_for(int tid);
+  [[nodiscard]] SetAssocCache& dcache_for(int tid);
+
+  MemorySystemConfig config_;
+  int num_threads_;
+  std::vector<SetAssocCache> icaches_;  // 1 if shared, num_threads if private
+  std::vector<SetAssocCache> dcaches_;
+};
+
+}  // namespace cvmt

@@ -1,0 +1,55 @@
+#include "sim/multithreaded_core.hpp"
+
+#include <bit>
+
+namespace cvmt {
+
+MultithreadedCore::MultithreadedCore(const MachineConfig& machine,
+                                     Scheme scheme, PriorityPolicy priority,
+                                     MemorySystem& mem,
+                                     MissPolicy miss_policy)
+    : machine_(machine),
+      engine_(std::move(scheme), machine, priority),
+      mem_(mem),
+      miss_policy_(miss_policy) {}
+
+void MultithreadedCore::set_thread(int slot, ThreadContext* thread) {
+  CVMT_CHECK(slot >= 0 && slot < num_slots());
+  slots_[static_cast<std::size_t>(slot)] = thread;
+}
+
+bool MultithreadedCore::step(std::uint64_t cycle) {
+  const int n = num_slots();
+  std::array<const Footprint*, kMaxThreads> offers{};
+  bool any_offer = false;
+  for (int s = 0; s < n; ++s) {
+    ThreadContext* t = slots_[static_cast<std::size_t>(s)];
+    offers[static_cast<std::size_t>(s)] =
+        t ? t->offer(cycle, mem_, s) : nullptr;
+    any_offer |= offers[static_cast<std::size_t>(s)] != nullptr;
+  }
+
+  bool any_done = false;
+  if (any_offer) {
+    const MergeDecision d = engine_.select(
+        std::span<const Footprint* const>(offers.data(),
+                                          static_cast<std::size_t>(n)));
+    std::uint32_t mask = d.issued_mask;
+    while (mask != 0) {
+      const int s = std::countr_zero(mask);
+      mask &= mask - 1;
+      ThreadContext* t = slots_[static_cast<std::size_t>(s)];
+      const std::uint64_t ops_before = t->stats().ops;
+      t->consume(cycle, mem_, s, machine_, miss_policy_);
+      stats_.total_ops += t->stats().ops - ops_before;
+      ++stats_.total_instructions;
+      any_done |= t->done();
+    }
+  } else {
+    ++stats_.idle_cycles;
+  }
+  ++stats_.cycles;
+  return any_done;
+}
+
+}  // namespace cvmt

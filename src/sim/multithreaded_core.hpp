@@ -1,0 +1,62 @@
+// The multithreaded clustered VLIW core: per cycle, every resident thread
+// offers its next instruction and the merge engine selects the subset that
+// issues as a single execution packet.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/merge_engine.hpp"
+#include "sim/thread_context.hpp"
+
+namespace cvmt {
+
+/// Aggregate core counters.
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t idle_cycles = 0;  ///< cycles with no candidate at all
+
+  [[nodiscard]] double ipc() const {
+    return cycles ? static_cast<double>(total_ops) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+/// Hardware: N thread slots, one merge network, one memory system.
+class MultithreadedCore {
+ public:
+  MultithreadedCore(const MachineConfig& machine, Scheme scheme,
+                    PriorityPolicy priority, MemorySystem& mem,
+                    MissPolicy miss_policy);
+
+  /// Number of hardware thread slots (the scheme's thread count).
+  [[nodiscard]] int num_slots() const { return engine_.scheme().num_threads(); }
+
+  /// Binds `thread` (may be nullptr = idle slot) to hardware slot `slot`.
+  void set_thread(int slot, ThreadContext* thread);
+
+  [[nodiscard]] ThreadContext* thread(int slot) const {
+    return slots_[static_cast<std::size_t>(slot)];
+  }
+
+  /// Advances one cycle: gather offers, merge-select, issue.
+  /// Returns true if any resident thread finished its budget this cycle.
+  bool step(std::uint64_t cycle);
+
+  [[nodiscard]] const CoreStats& stats() const { return stats_; }
+  [[nodiscard]] const MergeEngine& engine() const { return engine_; }
+  [[nodiscard]] MemorySystem& memory() { return mem_; }
+
+ private:
+  MachineConfig machine_;
+  MergeEngine engine_;
+  MemorySystem& mem_;
+  MissPolicy miss_policy_;
+  std::array<ThreadContext*, kMaxThreads> slots_{};
+  CoreStats stats_;
+};
+
+}  // namespace cvmt

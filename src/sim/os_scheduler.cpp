@@ -1,0 +1,56 @@
+#include "sim/os_scheduler.hpp"
+
+#include <algorithm>
+
+namespace cvmt {
+
+OsScheduler::OsScheduler(std::vector<std::shared_ptr<ThreadContext>> threads,
+                         std::uint64_t timeslice, std::uint64_t seed)
+    : threads_(std::move(threads)), timeslice_(timeslice), rng_(seed) {
+  CVMT_CHECK_MSG(!threads_.empty(), "workload needs at least one thread");
+  CVMT_CHECK_MSG(timeslice_ >= 1, "timeslice must be positive");
+}
+
+void OsScheduler::reschedule(MultithreadedCore& core) {
+  // Runnable = not yet at budget. (The run stops at the first completion,
+  // so in practice all threads are runnable here.)
+  std::vector<ThreadContext*> runnable;
+  for (const auto& t : threads_)
+    if (!t->done()) runnable.push_back(t.get());
+
+  // Random replacement (paper: "replacement threads are picked at random"):
+  // Fisher-Yates prefix shuffle of the runnable pool.
+  const int slots = core.num_slots();
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(slots),
+                            runnable.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j =
+        i + rng_.next_below(runnable.size() - i);
+    std::swap(runnable[i], runnable[j]);
+  }
+  for (int s = 0; s < slots; ++s) {
+    ThreadContext* next =
+        static_cast<std::size_t>(s) < take
+            ? runnable[static_cast<std::size_t>(s)]
+            : nullptr;
+    if (core.thread(s) != next) ++stats_.context_switches;
+    core.set_thread(s, next);
+  }
+  ++stats_.timeslices;
+}
+
+std::uint64_t OsScheduler::run(MultithreadedCore& core,
+                               std::uint64_t max_cycles) {
+  std::uint64_t cycle = 0;
+  for (; cycle < max_cycles; ++cycle) {
+    if (cycle % timeslice_ == 0) reschedule(core);
+    if (core.step(cycle)) {
+      ++cycle;  // count the finishing cycle
+      break;
+    }
+  }
+  return cycle;
+}
+
+}  // namespace cvmt

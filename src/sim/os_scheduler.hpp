@@ -1,0 +1,51 @@
+// Multitasking environment of the paper's §5.1: the hardware thread count
+// is exposed as virtual CPUs; the OS schedules that many software threads
+// per timeslice, replacing them with randomly picked runnable threads at
+// each expiry. The run ends when any thread completes its instruction
+// budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/multithreaded_core.hpp"
+#include "support/rng.hpp"
+
+namespace cvmt {
+
+/// OS-level run summary.
+struct OsRunStats {
+  std::uint64_t context_switches = 0;
+  std::uint64_t timeslices = 0;
+};
+
+/// Timeslice scheduler over a pool of software threads.
+class OsScheduler {
+ public:
+  /// `threads` is the workload pool (ownership shared with the caller so
+  /// results can be read afterwards). `timeslice` is in cycles.
+  OsScheduler(std::vector<std::shared_ptr<ThreadContext>> threads,
+              std::uint64_t timeslice, std::uint64_t seed);
+
+  /// Runs `core` until any thread finishes its budget or `max_cycles`
+  /// elapse. Returns the number of cycles executed.
+  std::uint64_t run(MultithreadedCore& core, std::uint64_t max_cycles);
+
+  [[nodiscard]] const OsRunStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<std::shared_ptr<ThreadContext>>& threads()
+      const {
+    return threads_;
+  }
+
+ private:
+  /// Picks a fresh random set of runnable threads onto the core's slots.
+  void reschedule(MultithreadedCore& core);
+
+  std::vector<std::shared_ptr<ThreadContext>> threads_;
+  std::uint64_t timeslice_;
+  Xoshiro256 rng_;
+  OsRunStats stats_;
+};
+
+}  // namespace cvmt

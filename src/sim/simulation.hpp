@@ -1,0 +1,73 @@
+// Top-level simulation facade: configure machine + memory + scheme +
+// workload, run, collect a structured result. This is the main public
+// entry point of the library (examples and the experiment harness are thin
+// layers over run_simulation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/merge_engine.hpp"
+#include "sim/os_scheduler.hpp"
+#include "trace/benchmark_suite.hpp"
+
+namespace cvmt {
+
+/// All knobs of one simulation run. Defaults model the paper's machine at
+/// laptop-scale run lengths (the paper uses a 1M-cycle timeslice and 100M
+/// instruction budget; relative results are stable under the scale-down,
+/// see EXPERIMENTS.md).
+struct SimConfig {
+  MachineConfig machine = MachineConfig::vex4x4();
+  MemorySystemConfig mem;  ///< 64KB 4-way I/D, 20-cycle penalty, shared
+  PriorityPolicy priority = PriorityPolicy::kRoundRobin;
+  MissPolicy miss_policy = MissPolicy::kSerialized;
+  std::uint64_t timeslice_cycles = 50'000;
+  std::uint64_t instruction_budget = 400'000;  ///< per thread, stop-at-first
+  std::uint64_t max_cycles = 1ULL << 40;       ///< hard safety stop
+  std::uint64_t os_seed = 0xC0FFEE;
+  std::uint64_t stream_seed_base = 7;  ///< per-thread trace stream seeds
+};
+
+/// Per-software-thread outcome.
+struct ThreadResult {
+  std::string benchmark;
+  std::uint64_t instructions = 0;
+  std::uint64_t ops = 0;
+  ThreadStats stats;
+};
+
+/// Outcome of one run.
+struct SimResult {
+  std::string scheme;
+  std::uint64_t cycles = 0;
+  std::uint64_t total_ops = 0;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t idle_cycles = 0;
+  double ipc = 0.0;  ///< useful operations per cycle (paper's metric)
+  std::vector<ThreadResult> threads;
+  RatioCounter icache;
+  RatioCounter dcache;
+  Histogram issued_per_cycle{1};
+  std::vector<MergeNodeStats> merge_nodes;
+  OsRunStats os;
+};
+
+/// Runs `programs` (one per software thread) under `scheme` on the machine
+/// described by `config`. The number of hardware contexts is the scheme's
+/// thread count; the workload may be larger (the OS timeslices it) or
+/// smaller (slots idle).
+[[nodiscard]] SimResult run_simulation(
+    const Scheme& scheme,
+    const std::vector<std::shared_ptr<const SyntheticProgram>>& programs,
+    const SimConfig& config);
+
+/// Convenience: builds the programs of `workload` from `library` and runs.
+[[nodiscard]] SimResult run_workload(const Scheme& scheme,
+                                     const Workload& workload,
+                                     ProgramLibrary& library,
+                                     const SimConfig& config);
+
+}  // namespace cvmt

@@ -1,0 +1,76 @@
+#include "sim/thread_context.hpp"
+
+#include <algorithm>
+
+namespace cvmt {
+
+ThreadContext::ThreadContext(std::string name,
+                             std::shared_ptr<const SyntheticProgram> program,
+                             std::uint64_t stream_seed,
+                             std::uint64_t instruction_budget)
+    : name_(std::move(name)),
+      gen_(std::move(program), stream_seed),
+      budget_(instruction_budget) {
+  CVMT_CHECK(budget_ >= 1);
+}
+
+const Footprint* ThreadContext::offer(std::uint64_t cycle, MemorySystem& mem,
+                                      int hw_tid) {
+  if (done_) return nullptr;
+  if (!has_pending_) {
+    pending_ = gen_.next();
+    pending_fp_ = gen_.current_footprint();
+    has_pending_ = true;
+    // Fetch starts once the previous instruction's stalls resolve; an
+    // ICache miss then delays issue further.
+    const MemAccessResult fetch = mem.fetch(hw_tid, pending_.pc());
+    if (!fetch.hit) {
+      ready_at_ = std::max(ready_at_, cycle) +
+                  static_cast<std::uint64_t>(fetch.penalty_cycles);
+      stats_.icache_stall_cycles +=
+          static_cast<std::uint64_t>(fetch.penalty_cycles);
+    }
+  }
+  return cycle >= ready_at_ ? &pending_fp_ : nullptr;
+}
+
+void ThreadContext::consume(std::uint64_t cycle, MemorySystem& mem,
+                            int hw_tid, const MachineConfig& machine,
+                            MissPolicy policy) {
+  CVMT_CHECK_MSG(has_pending_ && cycle >= ready_at_,
+                 "consume without a ready offer");
+  // Account the issued instruction.
+  ++stats_.instructions;
+  stats_.ops += pending_.op_count();
+  if (pending_.empty()) ++stats_.bubbles;
+
+  // Execution stalls: taken-branch squash plus DCache misses.
+  std::uint64_t stall = 1;
+  int dmiss_total = 0;
+  int dmiss_max = 0;
+  bool taken = false;
+  for (const Operation& op : pending_) {
+    if (is_memory(op.kind)) {
+      const MemAccessResult r = mem.data_access(hw_tid, op.addr);
+      dmiss_total += r.penalty_cycles;
+      dmiss_max = std::max(dmiss_max, r.penalty_cycles);
+    } else if (op.kind == OpKind::kBranch && op.taken) {
+      taken = true;
+    }
+  }
+  const int dmiss =
+      policy == MissPolicy::kSerialized ? dmiss_total : dmiss_max;
+  stall += static_cast<std::uint64_t>(dmiss);
+  stats_.dcache_stall_cycles += static_cast<std::uint64_t>(dmiss);
+  if (taken) {
+    ++stats_.taken_branches;
+    stall += static_cast<std::uint64_t>(machine.taken_branch_penalty);
+    stats_.branch_stall_cycles +=
+        static_cast<std::uint64_t>(machine.taken_branch_penalty);
+  }
+  ready_at_ = cycle + stall;
+  has_pending_ = false;
+  if (stats_.instructions >= budget_) done_ = true;
+}
+
+}  // namespace cvmt

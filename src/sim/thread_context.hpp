@@ -1,0 +1,79 @@
+// One software thread: trace generator + architectural timing state.
+//
+// The context survives OS descheduling (paper §5.1 runs a multitasking
+// environment with 1M-cycle timeslices): all position, stall and stat
+// state lives here, and the core merely points at the contexts currently
+// occupying hardware thread slots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "isa/machine_config.hpp"
+#include "mem/memory_system.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace cvmt {
+
+/// How multiple DCache misses inside one issued packet are charged.
+enum class MissPolicy : std::uint8_t {
+  kSerialized,  ///< each miss blocks in turn (simple blocking LSU, default;
+                ///< matches the profile calibration exactly)
+  kOverlapped,  ///< misses overlap (per-cluster LSUs with MLP; ablation)
+};
+
+/// Per-thread execution statistics.
+struct ThreadStats {
+  std::uint64_t instructions = 0;  ///< issued VLIW instructions (w/ bubbles)
+  std::uint64_t bubbles = 0;       ///< issued empty instructions
+  std::uint64_t ops = 0;           ///< useful operations issued
+  std::uint64_t taken_branches = 0;
+  std::uint64_t dcache_stall_cycles = 0;
+  std::uint64_t icache_stall_cycles = 0;
+  std::uint64_t branch_stall_cycles = 0;
+};
+
+/// A software thread executing one synthetic program.
+class ThreadContext {
+ public:
+  ThreadContext(std::string name,
+                std::shared_ptr<const SyntheticProgram> program,
+                std::uint64_t stream_seed,
+                std::uint64_t instruction_budget);
+
+  /// Offers this thread's next instruction for merging at `cycle`.
+  /// Fetches (and charges ICache penalties) lazily; returns nullptr while
+  /// the thread is stalled or has completed its budget. `hw_tid` routes
+  /// cache accesses when caches are private.
+  const Footprint* offer(std::uint64_t cycle, MemorySystem& mem, int hw_tid);
+
+  /// Issues the previously offered instruction: accounts statistics,
+  /// performs DCache accesses and computes the next-issue stall.
+  void consume(std::uint64_t cycle, MemorySystem& mem, int hw_tid,
+               const MachineConfig& machine, MissPolicy policy);
+
+  /// True once `instruction_budget` instructions have issued.
+  [[nodiscard]] bool done() const { return done_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ThreadStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t budget() const { return budget_; }
+
+ private:
+  std::string name_;
+  TraceGenerator gen_;
+  std::uint64_t budget_;
+
+  bool has_pending_ = false;
+  bool done_ = false;
+  Footprint pending_fp_;
+  /// Copy of the pending instruction (the generator's scratch is
+  /// invalidated by the prefetch inside consume()).
+  Instruction pending_;
+  std::uint64_t ready_at_ = 0;
+
+  ThreadStats stats_;
+};
+
+}  // namespace cvmt

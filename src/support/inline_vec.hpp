@@ -1,0 +1,93 @@
+// Fixed-capacity inline vector.
+//
+// VLIW packets hold at most issue_width operations (16 in the default
+// machine); storing them inline avoids a heap allocation per simulated
+// instruction, which dominates profile time otherwise. Only the subset of
+// the std::vector interface the simulator needs is provided.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+
+/// Contiguous container with inline storage for at most `Capacity` elements.
+/// Elements must be trivially destructible (operations and small PODs are).
+template <typename T, std::size_t Capacity>
+class InlineVec {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "InlineVec only supports trivially destructible types");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr InlineVec() = default;
+
+  constexpr InlineVec(std::initializer_list<T> init) {
+    CVMT_CHECK(init.size() <= Capacity);
+    for (const T& v : init) push_back(v);
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  [[nodiscard]] static constexpr std::size_t capacity() { return Capacity; }
+
+  constexpr void push_back(const T& v) {
+    CVMT_DCHECK(size_ < Capacity);
+    data_[size_++] = v;
+  }
+
+  /// Constructs an element in place and returns a reference to it.
+  template <typename... Args>
+  constexpr T& emplace_back(Args&&... args) {
+    CVMT_DCHECK(size_ < Capacity);
+    data_[size_] = T{std::forward<Args>(args)...};
+    return data_[size_++];
+  }
+
+  constexpr void clear() { size_ = 0; }
+
+  constexpr void pop_back() {
+    CVMT_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  constexpr T& operator[](std::size_t i) {
+    CVMT_DCHECK(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const {
+    CVMT_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  constexpr T& back() {
+    CVMT_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+  constexpr const T& back() const {
+    CVMT_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  constexpr iterator begin() { return data_.data(); }
+  constexpr iterator end() { return data_.data() + size_; }
+  constexpr const_iterator begin() const { return data_.data(); }
+  constexpr const_iterator end() const { return data_.data() + size_; }
+
+  friend constexpr bool operator==(const InlineVec& a, const InlineVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::array<T, Capacity> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace cvmt

@@ -1,0 +1,64 @@
+#include "support/string_util.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace cvmt {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_grouped(long long value) {
+  const bool neg = value < 0;
+  unsigned long long v =
+      neg ? 0ULL - static_cast<unsigned long long>(value)
+          : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run == 3) {
+      out.push_back(',');
+      run = 0;
+    }
+    out.push_back(*it);
+    ++run;
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace cvmt

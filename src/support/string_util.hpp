@@ -1,0 +1,25 @@
+// Small string helpers shared by the scheme parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvmt {
+
+/// Splits `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Uppercases ASCII letters.
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Formats `value` with `decimals` fractional digits (locale-independent).
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Formats an integer with thousands separators ("12,345").
+[[nodiscard]] std::string format_grouped(long long value);
+
+}  // namespace cvmt

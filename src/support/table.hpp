@@ -1,0 +1,44 @@
+// ASCII / CSV table rendering for bench binaries and examples.
+//
+// Every bench prints the same rows the paper's table or figure reports;
+// TableWriter keeps that output aligned and optionally machine-readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cvmt {
+
+/// Column-aligned table builder. Usage:
+///   TableWriter t({"Benchmark", "IPCr", "IPCp"});
+///   t.add_row({"mcf", "0.96", "1.34"});
+///   t.print(std::cout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders with padded columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no padding, separator rows skipped).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+};
+
+/// Prints a figure/table banner ("== Figure 10: ... ==") used by benches.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace cvmt

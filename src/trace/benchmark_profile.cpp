@@ -1,0 +1,29 @@
+#include "trace/benchmark_profile.hpp"
+
+#include "support/check.hpp"
+
+namespace cvmt {
+
+void BenchmarkProfile::validate() const {
+  CVMT_CHECK_MSG(!name.empty(), "profile needs a name");
+  CVMT_CHECK_MSG(target_ipc_perfect >= target_ipc_real,
+                 "perfect-memory IPC cannot be below real IPC");
+  CVMT_CHECK_MSG(target_ipc_real > 0.0, "IPC target must be positive");
+  CVMT_CHECK_MSG(num_loops >= 1, "at least one loop");
+  CVMT_CHECK_MSG(mean_body_instrs >= 2.0, "bodies need >= 2 instructions");
+  CVMT_CHECK_MSG(mean_trip_count >= 1.0, "trip count mean below 1");
+  CVMT_CHECK_MSG(mean_ops_per_instr >= 1.0, "ops per instruction below 1");
+  const auto frac = [](double f) { return f >= 0.0 && f <= 1.0; };
+  CVMT_CHECK_MSG(frac(mem_op_frac) && frac(store_frac) &&
+                     frac(mul_op_frac) && frac(mid_branch_frac) &&
+                     frac(mid_branch_taken),
+                 "fractions must lie in [0,1]");
+  CVMT_CHECK_MSG(mem_op_frac + mul_op_frac <= 1.0,
+                 "op mix exceeds 100%");
+  CVMT_CHECK_MSG(ops_per_cluster_target > 0.0, "cluster packing target");
+  CVMT_CHECK_MSG(hot_bytes >= 64, "hot region too small");
+  CVMT_CHECK_MSG(assumed_miss_penalty >= 0, "negative miss penalty");
+  CVMT_CHECK_MSG(code_bytes_per_instr >= 1, "code bytes per instruction");
+}
+
+}  // namespace cvmt

@@ -1,0 +1,75 @@
+// Statistical benchmark profiles — the substitute for the VEX compiler and
+// the MediaBench / SPECint2000 binaries (DESIGN.md §2, substitution 1).
+//
+// A profile captures everything the merging schemes are sensitive to:
+// operations per instruction (horizontal density), scheduled empty
+// instructions (vertical waste), fixed-slot pressure (memory / multiply /
+// branch mix), the cluster footprint and its drift across loops, and the
+// cache behaviour. The two Table 1 targets (IPCr with real memory and IPCp
+// with perfect memory) calibrate the bubble count and DCache miss mix
+// analytically; tests/trace_calibration_test.cpp asserts the simulated
+// single-thread IPCs land on the targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cvmt {
+
+/// Table 1 classification by IPCp.
+enum class IlpDegree : std::uint8_t { kLow, kMedium, kHigh };
+
+[[nodiscard]] constexpr char to_char(IlpDegree d) {
+  switch (d) {
+    case IlpDegree::kLow: return 'L';
+    case IlpDegree::kMedium: return 'M';
+    case IlpDegree::kHigh: return 'H';
+  }
+  return '?';
+}
+
+/// Shape parameters of one synthetic benchmark.
+struct BenchmarkProfile {
+  std::string name;
+  IlpDegree ilp = IlpDegree::kLow;
+
+  /// Table 1 reference points (operations per cycle).
+  double target_ipc_real = 1.0;
+  double target_ipc_perfect = 1.0;
+
+  // --- Program shape -------------------------------------------------
+  int num_loops = 12;            ///< distinct loop bodies in the program
+  double mean_body_instrs = 12;  ///< non-bubble instructions per body
+  double mean_trip_count = 48;   ///< iterations per loop entry
+
+  // --- Instruction composition ---------------------------------------
+  double mean_ops_per_instr = 2.0;  ///< of non-bubble instructions
+  double mem_op_frac = 0.25;        ///< fraction of ops touching memory
+  double store_frac = 0.3;          ///< of memory ops, fraction stores
+  double mul_op_frac = 0.05;        ///< fraction of ops that multiply
+  double mid_branch_frac = 0.08;    ///< instrs with a non-loop branch
+  double mid_branch_taken = 0.25;   ///< taken probability of those
+
+  // --- Cluster placement ---------------------------------------------
+  /// Average operations packed per cluster before spilling to the next one
+  /// (controls how many clusters an instruction touches; lower = wider
+  /// footprint = harder for CSMT).
+  double ops_per_cluster_target = 3.0;
+
+  // --- Memory behaviour ----------------------------------------------
+  std::uint64_t hot_bytes = 16 * 1024;  ///< cache-resident data per thread
+  std::uint64_t hot_stride = 8;         ///< hot-region walk stride
+  /// Miss penalty assumed by the IPCr calibration (must match the cache
+  /// config used in experiments).
+  int assumed_miss_penalty = 20;
+  /// Code bytes occupied by one VLIW instruction (PC layout / ICache).
+  std::uint64_t code_bytes_per_instr = 32;
+
+  /// Seed decorrelating this benchmark's generated program from others.
+  std::uint64_t seed = 1;
+
+  /// Sanity checks (fractions in range, targets consistent).
+  void validate() const;
+};
+
+}  // namespace cvmt

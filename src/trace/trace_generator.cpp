@@ -1,0 +1,77 @@
+#include "trace/trace_generator.hpp"
+
+namespace cvmt {
+namespace {
+/// Cold streams advance one line per access (guaranteed compulsory miss)
+/// and wrap after 64MB — long evicted by then.
+constexpr std::uint64_t kColdLineBytes = 64;
+constexpr std::uint64_t kColdWrapBytes = 64ULL << 20;
+}  // namespace
+
+TraceGenerator::TraceGenerator(
+    std::shared_ptr<const SyntheticProgram> program,
+    std::uint64_t stream_seed)
+    : program_(std::move(program)),
+      rng_(SplitMix64(stream_seed ^ 0xabcdef12345ULL).next()) {
+  CVMT_CHECK(program_ != nullptr);
+  // 1MB-granular address-space salt: keeps threads disjoint in shared
+  // caches while preserving intra-thread set behaviour.
+  SplitMix64 sm(stream_seed);
+  address_salt_ = (sm.next() % 2048) * 0x100000ULL;
+  const std::size_t n = program_->loops().size();
+  hot_cursor_.assign(n, 0);
+  cold_cursor_.assign(n, 0);
+  enter_next_loop();
+}
+
+void TraceGenerator::enter_next_loop() {
+  const auto& loops = program_->loops();
+  loop_idx_ = rng_.next_below(loops.size());
+  trips_left_ = rng_.next_trip_count(loops[loop_idx_].mean_trips);
+  body_pos_ = 0;
+}
+
+const Instruction& TraceGenerator::next() {
+  const SyntheticProgram::Loop& loop = program_->loops()[loop_idx_];
+
+  scratch_ = loop.body[body_pos_];
+  scratch_fp_ = loop.footprints[body_pos_];
+  scratch_.set_pc(scratch_.pc() + address_salt_);
+
+  const bool is_last = body_pos_ + 1 == loop.body.size();
+  for (std::size_t i = 0; i < scratch_.op_count(); ++i) {
+    Operation& op = scratch_.op(i);
+    if (is_memory(op.kind)) {
+      if (rng_.next_bool(loop.miss_frac)) {
+        std::uint64_t& cur = cold_cursor_[loop_idx_];
+        op.addr = loop.cold_base + address_salt_ + cur;
+        cur = (cur + kColdLineBytes) % kColdWrapBytes;
+      } else {
+        std::uint64_t& cur = hot_cursor_[loop_idx_];
+        op.addr = loop.hot_base + address_salt_ +
+                  (cur % loop.hot_window);
+        cur += program_->profile().hot_stride;
+      }
+    } else if (op.kind == OpKind::kBranch) {
+      // The loop-closing branch is always taken (back edge or exit jump);
+      // mid-body branches resolve randomly.
+      op.taken = is_last ||
+                 rng_.next_bool(program_->profile().mid_branch_taken);
+    }
+  }
+
+  ++emitted_;
+  if (is_last) {
+    body_pos_ = 0;
+    if (--trips_left_ == 0) enter_next_loop();
+  } else {
+    ++body_pos_;
+  }
+  return scratch_;
+}
+
+const Footprint& TraceGenerator::current_footprint() const {
+  return scratch_fp_;
+}
+
+}  // namespace cvmt

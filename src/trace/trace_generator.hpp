@@ -1,0 +1,69 @@
+// Resumable, deterministic dynamic instruction stream over a
+// SyntheticProgram.
+//
+// One TraceGenerator is one software thread's execution: it walks loop
+// entries (uniformly random loop, geometric trip count), emits the body
+// templates with per-execution patches (memory addresses, mid-branch
+// directions), and keeps its whole state in the object so the OS scheduler
+// can deschedule/reschedule it at will. Copying the generator snapshots
+// the execution — the simulator's determinism tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/footprint.hpp"
+#include "support/rng.hpp"
+#include "trace/synthetic_program.hpp"
+
+namespace cvmt {
+
+class TraceGenerator {
+ public:
+  /// `stream_seed` decorrelates this execution from other instances of the
+  /// same program (it also derives the address-space salt that keeps
+  /// different software threads from aliasing in shared caches).
+  TraceGenerator(std::shared_ptr<const SyntheticProgram> program,
+                 std::uint64_t stream_seed);
+
+  /// Emits the next dynamic VLIW instruction. The reference stays valid
+  /// until the next call. Never ends (programs loop forever); the caller
+  /// decides the instruction budget.
+  const Instruction& next();
+
+  /// Footprint of the most recently emitted instruction (cached template
+  /// footprint; patches never change placement).
+  [[nodiscard]] const Footprint& current_footprint() const;
+
+  [[nodiscard]] std::uint64_t instructions_emitted() const {
+    return emitted_;
+  }
+  [[nodiscard]] const SyntheticProgram& program() const { return *program_; }
+
+  /// The address-space offset this execution adds to every PC and data
+  /// address (models separate address spaces in shared caches). Tools can
+  /// subtract it to map addresses back to the program's regions.
+  [[nodiscard]] std::uint64_t address_salt() const { return address_salt_; }
+
+ private:
+  void enter_next_loop();
+
+  std::shared_ptr<const SyntheticProgram> program_;
+  Xoshiro256 rng_;
+  std::uint64_t address_salt_ = 0;
+
+  std::size_t loop_idx_ = 0;
+  std::uint64_t trips_left_ = 0;
+  std::size_t body_pos_ = 0;
+
+  /// Per-loop persistent walk state (streams continue across re-entries).
+  std::vector<std::uint64_t> hot_cursor_;
+  std::vector<std::uint64_t> cold_cursor_;
+
+  Instruction scratch_;
+  Footprint scratch_fp_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace cvmt

@@ -1,0 +1,209 @@
+#include "trace/vex_asm.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "support/string_util.hpp"
+
+namespace cvmt {
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%" PRIx64, v);
+  return buf;
+}
+
+OpKind kind_from_token(std::string_view tok, int line_no) {
+  if (tok == "alu") return OpKind::kAlu;
+  if (tok == "mpy") return OpKind::kMul;
+  if (tok == "ld") return OpKind::kLoad;
+  if (tok == "st") return OpKind::kStore;
+  if (tok == "br") return OpKind::kBranch;
+  CVMT_CHECK_MSG(false, "line " + std::to_string(line_no) +
+                            ": unknown op kind '" + std::string(tok) + "'");
+  __builtin_unreachable();
+}
+
+/// Minimal tokenizer state over one line.
+class LineParser {
+ public:
+  LineParser(std::string_view line, int line_no)
+      : line_(line), line_no_(line_no) {}
+
+  /// key=value field, e.g. trips=48 or hot=0x20001040+4096.
+  [[nodiscard]] std::string field(std::string_view key) {
+    const std::string pat = std::string(key) + "=";
+    const std::size_t pos = line_.find(pat);
+    CVMT_CHECK_MSG(pos != std::string_view::npos,
+                   "line " + std::to_string(line_no_) + ": missing '" +
+                       std::string(key) + "='");
+    std::size_t end = pos + pat.size();
+    while (end < line_.size() && line_[end] != ' ') ++end;
+    return std::string(line_.substr(pos + pat.size(),
+                                    end - pos - pat.size()));
+  }
+
+  [[nodiscard]] std::uint64_t field_u64(std::string_view key) {
+    return std::strtoull(field(key).c_str(), nullptr, 0);
+  }
+  [[nodiscard]] double field_double(std::string_view key) {
+    return std::strtod(field(key).c_str(), nullptr);
+  }
+
+ private:
+  std::string_view line_;
+  int line_no_;
+};
+
+Instruction parse_instruction(std::string_view body, int line_no) {
+  Instruction instr;
+  for (std::string_view part : split(body, ';')) {
+    part = trim(part);
+    if (part.empty()) continue;
+    // "c<cluster>.<slot> <kind>"
+    CVMT_CHECK_MSG(part.size() >= 5 && part[0] == 'c',
+                   "line " + std::to_string(line_no) +
+                       ": malformed operation '" + std::string(part) + "'");
+    const std::size_t dot = part.find('.');
+    const std::size_t space = part.find(' ', dot);
+    CVMT_CHECK_MSG(dot != std::string_view::npos &&
+                       space != std::string_view::npos,
+                   "line " + std::to_string(line_no) +
+                       ": malformed operation '" + std::string(part) + "'");
+    Operation op;
+    op.cluster = static_cast<std::uint8_t>(
+        std::strtoul(std::string(part.substr(1, dot - 1)).c_str(), nullptr,
+                     10));
+    op.slot = static_cast<std::uint8_t>(std::strtoul(
+        std::string(part.substr(dot + 1, space - dot - 1)).c_str(), nullptr,
+        10));
+    op.kind = kind_from_token(trim(part.substr(space + 1)), line_no);
+    instr.add(op);
+  }
+  return instr;
+}
+
+}  // namespace
+
+std::string dump_program(const SyntheticProgram& program) {
+  const BenchmarkProfile& p = program.profile();
+  const MachineConfig& m = program.machine();
+  std::ostringstream os;
+  os << ".program " << p.name << "\n";
+  os << ".machine clusters=" << m.num_clusters << " issue="
+     << m.issue_per_cluster << "\n";
+  os << ".stride " << p.hot_stride << "\n";
+  os << ".codebytes " << p.code_bytes_per_instr << "\n";
+  os << ".midtaken " << format_fixed(p.mid_branch_taken, 4) << "\n";
+  for (const auto& loop : program.loops()) {
+    os << ".loop trips=" << format_fixed(loop.mean_trips, 3)
+       << " miss=" << format_fixed(loop.miss_frac, 6)
+       << " code=" << hex(loop.code_base) << " hot=" << hex(loop.hot_base)
+       << "+" << loop.hot_window << " cold=" << hex(loop.cold_base) << "\n";
+    for (const Instruction& instr : loop.body) {
+      os << "{ ";
+      for (std::size_t i = 0; i < instr.op_count(); ++i) {
+        if (i) os << " ; ";
+        const Operation& op = instr.op(i);
+        os << 'c' << static_cast<int>(op.cluster) << '.'
+           << static_cast<int>(op.slot) << ' ' << to_string(op.kind);
+      }
+      os << (instr.empty() ? "}" : " }") << "\n";
+    }
+    os << ".endloop\n";
+  }
+  return os.str();
+}
+
+std::shared_ptr<const SyntheticProgram> parse_program(
+    std::string_view text, const MachineConfig& machine) {
+  BenchmarkProfile profile;
+  profile.name = "(unnamed)";
+  profile.target_ipc_real = 1.0;
+  profile.target_ipc_perfect = 1.0;
+
+  std::vector<SyntheticProgram::Loop> loops;
+  SyntheticProgram::Loop current;
+  bool in_loop = false;
+  bool machine_seen = false;
+  std::uint64_t next_pc = 0;
+
+  int line_no = 0;
+  for (std::string raw : split(text, '\n')) {
+    ++line_no;
+    if (const std::size_t hash = raw.find('#'); hash != std::string::npos)
+      raw.resize(hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    LineParser lp(line, line_no);
+
+    if (line.rfind(".program", 0) == 0) {
+      profile.name = std::string(trim(line.substr(8)));
+    } else if (line.rfind(".machine", 0) == 0) {
+      CVMT_CHECK_MSG(static_cast<int>(lp.field_u64("clusters")) ==
+                             machine.num_clusters &&
+                         static_cast<int>(lp.field_u64("issue")) ==
+                             machine.issue_per_cluster,
+                     "line " + std::to_string(line_no) +
+                         ": .machine does not match the target machine");
+      machine_seen = true;
+    } else if (line.rfind(".stride", 0) == 0) {
+      profile.hot_stride = std::strtoull(
+          std::string(trim(line.substr(7))).c_str(), nullptr, 0);
+    } else if (line.rfind(".codebytes", 0) == 0) {
+      profile.code_bytes_per_instr = std::strtoull(
+          std::string(trim(line.substr(10))).c_str(), nullptr, 0);
+    } else if (line.rfind(".midtaken", 0) == 0) {
+      profile.mid_branch_taken =
+          std::strtod(std::string(trim(line.substr(9))).c_str(), nullptr);
+    } else if (line.rfind(".loop", 0) == 0) {
+      CVMT_CHECK_MSG(!in_loop, "line " + std::to_string(line_no) +
+                                   ": nested .loop");
+      current = SyntheticProgram::Loop{};
+      current.mean_trips = lp.field_double("trips");
+      current.miss_frac = lp.field_double("miss");
+      current.code_base = lp.field_u64("code");
+      const std::string hot = lp.field("hot");
+      const std::size_t plus = hot.find('+');
+      CVMT_CHECK_MSG(plus != std::string::npos,
+                     "line " + std::to_string(line_no) +
+                         ": hot= needs base+window");
+      current.hot_base =
+          std::strtoull(hot.substr(0, plus).c_str(), nullptr, 0);
+      current.hot_window =
+          std::strtoull(hot.substr(plus + 1).c_str(), nullptr, 0);
+      current.cold_base = lp.field_u64("cold");
+      next_pc = current.code_base;
+      in_loop = true;
+    } else if (line == ".endloop") {
+      CVMT_CHECK_MSG(in_loop, "line " + std::to_string(line_no) +
+                                  ": .endloop outside a loop");
+      loops.push_back(std::move(current));
+      in_loop = false;
+    } else if (line.front() == '{') {
+      CVMT_CHECK_MSG(in_loop, "line " + std::to_string(line_no) +
+                                  ": instruction outside a loop");
+      const std::size_t close = line.rfind('}');
+      CVMT_CHECK_MSG(close != std::string_view::npos,
+                     "line " + std::to_string(line_no) + ": missing '}'");
+      Instruction instr =
+          parse_instruction(line.substr(1, close - 1), line_no);
+      instr.set_pc(next_pc);
+      next_pc += profile.code_bytes_per_instr;
+      current.body.push_back(std::move(instr));
+    } else {
+      CVMT_CHECK_MSG(false, "line " + std::to_string(line_no) +
+                                ": unrecognised directive '" +
+                                std::string(line) + "'");
+    }
+  }
+  CVMT_CHECK_MSG(!in_loop, "unterminated .loop at end of input");
+  CVMT_CHECK_MSG(machine_seen, "missing .machine directive");
+  profile.num_loops = static_cast<int>(loops.size());
+  return std::make_shared<const SyntheticProgram>(profile, machine,
+                                                  std::move(loops));
+}
+
+}  // namespace cvmt

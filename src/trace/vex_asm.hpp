@@ -1,0 +1,40 @@
+// VEX-style textual program format.
+//
+// The real system works from VEX compiler listings; this module provides
+// the equivalent artifact for the synthetic substrate: a human-readable
+// dump of a program's scheduled loop bodies that can be edited by hand and
+// loaded back. Round-trip is exact (dump(parse(dump(p))) == dump(p)), and
+// a parsed program simulates identically to its source.
+//
+// Format (one instruction per line, ';' separates operations, '#' starts
+// a comment):
+//
+//   .program mcf
+//   .machine clusters=4 issue=4
+//   .stride 8
+//   .midtaken 0.25
+//   .loop trips=48 miss=0.0312 code=0x10000 hot=0x20001040+4096
+//         cold=0x40000000   (all on one line)
+//   { c0.0 alu ; c0.2 ld }
+//   { }                          # scheduled stall (bubble)
+//   { c0.3 br }
+//   .endloop
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "trace/synthetic_program.hpp"
+
+namespace cvmt {
+
+/// Renders `program` in the textual format above.
+[[nodiscard]] std::string dump_program(const SyntheticProgram& program);
+
+/// Parses a textual program. The `.machine` directive must match
+/// `machine`. Throws CheckError with a line number on malformed input.
+[[nodiscard]] std::shared_ptr<const SyntheticProgram> parse_program(
+    std::string_view text, const MachineConfig& machine);
+
+}  // namespace cvmt

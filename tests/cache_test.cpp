@@ -1,0 +1,170 @@
+// Tests of the set-associative cache and memory-system facade.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/memory_system.hpp"
+
+namespace cvmt {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.size_bytes = 1024;  // 4 sets x 4 ways x 64B
+  c.line_bytes = 64;
+  c.ways = 4;
+  c.miss_penalty = 20;
+  return c;
+}
+
+TEST(CacheConfig, DefaultIsThePaperCache) {
+  const CacheConfig c;
+  EXPECT_EQ(c.size_bytes, 64u * 1024);
+  EXPECT_EQ(c.ways, 4u);
+  EXPECT_EQ(c.miss_penalty, 20);
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.num_sets(), 256u);
+}
+
+TEST(CacheConfig, RejectsBadGeometry) {
+  CacheConfig c = small_cache();
+  c.line_bytes = 48;  // not a power of two
+  EXPECT_THROW(c.validate(), CheckError);
+  c = small_cache();
+  c.size_bytes = 1000;  // not a multiple of line*ways
+  EXPECT_THROW(c.validate(), CheckError);
+  c = small_cache();
+  c.ways = 0;
+  EXPECT_THROW(c.validate(), CheckError);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache cache(small_cache());
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x103F));  // same 64B line
+  EXPECT_FALSE(cache.access(0x1040));  // next line
+}
+
+TEST(Cache, ContainsDoesNotFill) {
+  SetAssocCache cache(small_cache());
+  EXPECT_FALSE(cache.contains(0x2000));
+  EXPECT_FALSE(cache.access(0x2000));
+  EXPECT_TRUE(cache.contains(0x2000));
+}
+
+TEST(Cache, AssociativityHoldsWaysLines) {
+  SetAssocCache cache(small_cache());  // 4 sets => set stride 256B
+  // 4 lines mapping to set 0: tags differ by 4*64 = 256.
+  for (int i = 0; i < 4; ++i)
+    cache.access(static_cast<std::uint64_t>(i) * 256);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(cache.contains(static_cast<std::uint64_t>(i) * 256)) << i;
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  SetAssocCache cache(small_cache());
+  for (int i = 0; i < 4; ++i)
+    cache.access(static_cast<std::uint64_t>(i) * 256);
+  cache.access(0);  // touch line 0: line 1 becomes LRU
+  cache.access(4 * 256);  // 5th line in the set evicts line 1
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(256));
+  EXPECT_TRUE(cache.contains(2 * 256));
+  EXPECT_TRUE(cache.contains(4 * 256));
+}
+
+TEST(Cache, InvalidWaysFillBeforeEviction) {
+  SetAssocCache cache(small_cache());
+  cache.access(0);
+  cache.access(256);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(256));
+}
+
+TEST(Cache, StatsTrackHitsAndMisses) {
+  SetAssocCache cache(small_cache());
+  cache.access(0);
+  cache.access(0);
+  cache.access(0);
+  cache.access(64);
+  EXPECT_EQ(cache.stats().total, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, FlushInvalidatesEverything) {
+  SetAssocCache cache(small_cache());
+  cache.access(0x42);
+  cache.flush();
+  EXPECT_FALSE(cache.contains(0x42));
+}
+
+TEST(Cache, StreamingWorkloadMissesEveryLine) {
+  SetAssocCache cache(small_cache());
+  int misses = 0;
+  for (std::uint64_t a = 0; a < 64 * 1024; a += 64)
+    misses += cache.access(a) ? 0 : 1;
+  EXPECT_EQ(misses, 1024);
+}
+
+TEST(Cache, ResidentWorkingSetAlwaysHitsAfterWarmup) {
+  SetAssocCache cache(small_cache());
+  for (std::uint64_t a = 0; a < 1024; a += 64) cache.access(a);  // warm
+  for (int round = 0; round < 10; ++round)
+    for (std::uint64_t a = 0; a < 1024; a += 64)
+      EXPECT_TRUE(cache.access(a));
+}
+
+TEST(MemorySystem, SharedCachesSeeAllThreads) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();
+  cfg.sharing = CacheSharing::kShared;
+  MemorySystem mem(cfg, 2);
+  EXPECT_FALSE(mem.data_access(0, 0x100).hit);
+  EXPECT_TRUE(mem.data_access(1, 0x100).hit);  // warmed by thread 0
+}
+
+TEST(MemorySystem, PrivateCachesIsolateThreads) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();
+  cfg.sharing = CacheSharing::kPrivate;
+  MemorySystem mem(cfg, 2);
+  EXPECT_FALSE(mem.data_access(0, 0x100).hit);
+  EXPECT_FALSE(mem.data_access(1, 0x100).hit);  // its own cold cache
+}
+
+TEST(MemorySystem, PerfectModeNeverMisses) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();
+  cfg.perfect = true;
+  MemorySystem mem(cfg, 1);
+  for (std::uint64_t a = 0; a < 1 << 20; a += 4096) {
+    const MemAccessResult r = mem.data_access(0, a);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.penalty_cycles, 0);
+  }
+  EXPECT_EQ(mem.dcache_stats().total, 0u);  // caches untouched
+}
+
+TEST(MemorySystem, MissPenaltyIsReported) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();
+  MemorySystem mem(cfg, 1);
+  EXPECT_EQ(mem.fetch(0, 0xABC).penalty_cycles, 20);
+  EXPECT_EQ(mem.fetch(0, 0xABC).penalty_cycles, 0);
+}
+
+TEST(MemorySystem, StatsAggregateAcrossPrivateCaches) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();
+  cfg.sharing = CacheSharing::kPrivate;
+  MemorySystem mem(cfg, 3);
+  mem.data_access(0, 0);
+  mem.data_access(1, 0);
+  mem.data_access(2, 0);
+  EXPECT_EQ(mem.dcache_stats().total, 3u);
+  EXPECT_EQ(mem.dcache_stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,234 @@
+// Tests of the hardware cost model: primitive algebra, merge-control
+// circuits (Fig 5 shape) and scheme-level costs (Fig 9 relations).
+#include <gtest/gtest.h>
+
+#include "cost/gates.hpp"
+#include "cost/merge_control_cost.hpp"
+#include "cost/scheme_cost.hpp"
+
+namespace cvmt {
+namespace {
+
+const MachineConfig kM = MachineConfig::vex4x4();
+
+SchemeCost cost(const char* scheme) {
+  return scheme_cost(Scheme::parse(scheme), kM);
+}
+
+TEST(CircuitAlgebra, ThenAddsBoth) {
+  const Circuit a{10, 2.0}, b{5, 3.0};
+  const Circuit c = a.then(b);
+  EXPECT_EQ(c.transistors, 15);
+  EXPECT_DOUBLE_EQ(c.delay, 5.0);
+}
+
+TEST(CircuitAlgebra, BesideTakesMaxDelay) {
+  const Circuit a{10, 2.0}, b{5, 3.0};
+  const Circuit c = a.beside(b);
+  EXPECT_EQ(c.transistors, 15);
+  EXPECT_DOUBLE_EQ(c.delay, 3.0);
+}
+
+TEST(CircuitAlgebra, TimesReplicatesArea) {
+  const Circuit a{7, 2.0};
+  const Circuit c = a.times(4);
+  EXPECT_EQ(c.transistors, 28);
+  EXPECT_DOUBLE_EQ(c.delay, 2.0);
+  EXPECT_EQ(a.times(0).transistors, 0);
+}
+
+TEST(Gates, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+}
+
+TEST(Gates, ReduceTree) {
+  EXPECT_EQ(gates::reduce_tree(1).transistors, 0);
+  EXPECT_DOUBLE_EQ(gates::reduce_tree(1).delay, 0.0);
+  EXPECT_EQ(gates::reduce_tree(4).transistors, 18);
+  EXPECT_DOUBLE_EQ(gates::reduce_tree(4).delay, 2.0);
+  EXPECT_DOUBLE_EQ(gates::reduce_tree(5).delay, 3.0);
+}
+
+TEST(Gates, MuxN) {
+  EXPECT_EQ(gates::mux_n(1, 8).transistors, 0);
+  EXPECT_EQ(gates::mux_n(4, 1).transistors, 3 * 8);
+  EXPECT_DOUBLE_EQ(gates::mux_n(4, 1).delay, 2.0);
+}
+
+// ------------------------------------------------- Fig 5 control sweeps
+
+TEST(MergeControl, CsmtSerialGrowsLinearly) {
+  const auto c2 = csmt_serial_control(2, kM);
+  const auto c4 = csmt_serial_control(4, kM);
+  const auto c8 = csmt_serial_control(8, kM);
+  // One extra identical stage per extra thread.
+  const auto stage = csmt_serial_stage(kM);
+  EXPECT_EQ(c4.transistors - c2.transistors, 2 * stage.transistors + 2 * 24);
+  EXPECT_GT(c8.delay, c4.delay);
+  EXPECT_GT(c4.delay, c2.delay);
+}
+
+TEST(MergeControl, CsmtParallelAreaGrowsExponentially) {
+  const auto p4 = csmt_parallel_control(4, kM);
+  const auto p6 = csmt_parallel_control(6, kM);
+  const auto p8 = csmt_parallel_control(8, kM);
+  // Doubling threads should much more than double the area.
+  EXPECT_GT(p6.transistors, 3 * p4.transistors);
+  EXPECT_GT(p8.transistors, 3 * p6.transistors);
+}
+
+TEST(MergeControl, CsmtParallelDelayStaysFlat) {
+  const auto p2 = csmt_parallel_control(2, kM);
+  const auto p8 = csmt_parallel_control(8, kM);
+  EXPECT_LT(p8.delay, p2.delay + 8.0);  // near-flat growth
+  // And parallel always beats serial on delay for >2 threads.
+  for (int n = 3; n <= 8; ++n)
+    EXPECT_LT(csmt_parallel_control(n, kM).delay,
+              csmt_serial_control(n, kM).delay)
+        << n;
+}
+
+TEST(MergeControl, SmtDwarfsCsmtSerial) {
+  for (int n = 2; n <= 8; ++n) {
+    const auto smt = smt_serial_control(n, kM);
+    const auto csmt = csmt_serial_control(n, kM);
+    EXPECT_GT(smt.transistors, 10 * csmt.transistors) << n;
+    EXPECT_GT(smt.delay, csmt.delay) << n;
+  }
+}
+
+TEST(MergeControl, SmtAt8ThreadsIsExtreme) {
+  // Fig 5: the SMT curve reaches ~10^4-10^5 transistors and ~90 gate
+  // delays at 8 threads, which is the paper's scalability argument.
+  const auto smt8 = smt_serial_control(8, kM);
+  EXPECT_GT(smt8.transistors, 30'000);
+  EXPECT_GT(smt8.delay, 60.0);
+}
+
+TEST(MergeControl, CsmtParallelOvertakesSmtInArea) {
+  // The exponential parallel implementation eventually costs more area
+  // than serial SMT (§3: "grows exponentially with the number of
+  // threads").
+  EXPECT_LT(csmt_parallel_control(3, kM).transistors,
+            smt_serial_control(3, kM).transistors);
+  EXPECT_GT(csmt_parallel_control(8, kM).transistors,
+            smt_serial_control(8, kM).transistors);
+}
+
+TEST(MergeControl, SmtStageRoutingGrowsWithSources) {
+  const auto narrow = smt_stage(1, 1, kM);
+  const auto wide = smt_stage(3, 1, kM);
+  EXPECT_GT(wide.routing.transistors, narrow.routing.transistors);
+  EXPECT_EQ(wide.selection.transistors, narrow.selection.transistors);
+}
+
+// --------------------------------------------------- Fig 9 scheme costs
+
+TEST(SchemeCost, SingleThreadIsFree) {
+  const SchemeCost c = scheme_cost(Scheme::single_thread(), kM);
+  EXPECT_EQ(c.transistors, 0);
+  EXPECT_DOUBLE_EQ(c.gate_delay, 0.0);
+}
+
+TEST(SchemeCost, CsmtOnlySchemesAreCheapest) {
+  // §4.2: "Schemes that use only CSMT merging (C4, 2CC and 3CCC) are the
+  // cheapest overall" — in both area and delay.
+  const char* csmt_only[] = {"C4", "2CC", "3CCC"};
+  const char* with_smt[] = {"1S",   "2SC3", "3CSC", "2C3S", "3CCS", "3SCC",
+                            "2CS",  "2SC",  "3SSC", "3SCS", "3CSS", "2SS",
+                            "3SSS"};
+  for (const char* a : csmt_only)
+    for (const char* b : with_smt) {
+      EXPECT_LT(cost(a).transistors, cost(b).transistors) << a << " " << b;
+      EXPECT_LT(cost(a).gate_delay, cost(b).gate_delay) << a << " " << b;
+    }
+}
+
+TEST(SchemeCost, TreeLowersDelayVersusCascade) {
+  // §4.1: balanced trees reduce merge levels and delay.
+  EXPECT_LT(cost("2CC").gate_delay, cost("3CCC").gate_delay);
+  EXPECT_LT(cost("2SS").gate_delay, cost("3SSS").gate_delay);
+}
+
+TEST(SchemeCost, C4HasTheLowestDelay) {
+  for (const Scheme& s : Scheme::paper_schemes_4t()) {
+    if (s.name() == "C4") continue;
+    EXPECT_LT(cost("C4").gate_delay, scheme_cost(s, kM).gate_delay)
+        << s.name();
+  }
+}
+
+TEST(SchemeCost, TransistorsTrackSmtBlockCount) {
+  // §4.2: "the number of transistors required by any scheme is dominated
+  // by the number of SMT merge control blocks".
+  EXPECT_LT(cost("3SCC").transistors, cost("3SSC").transistors);
+  EXPECT_LT(cost("3SSC").transistors, cost("3SSS").transistors);
+  EXPECT_LT(cost("2CS").transistors, cost("2SC").transistors);
+  EXPECT_LT(cost("2SC").transistors, cost("2SS").transistors);
+}
+
+TEST(SchemeCost, OneSmtBlockSchemesCostLikeTwoThreadSmt) {
+  // §4.2: adding CSMT blocks to 1S barely moves the area needle.
+  const auto base = cost("1S").transistors;
+  for (const char* s : {"2SC3", "3SCC", "3CSC", "3CCS", "2C3S", "2CS"}) {
+    EXPECT_GT(cost(s).transistors, base) << s;
+    EXPECT_LT(cost(s).transistors, base + base / 2) << s;
+  }
+}
+
+TEST(SchemeCost, EarlySmtHidesRoutingDelay) {
+  // §4.2: 3SCC and 2SC3 stay close to 1S because the SMT routing overlaps
+  // the trailing CSMT levels; 3CCS/3CSC pay the routing at the end.
+  const double d1s = cost("1S").gate_delay;
+  EXPECT_LE(cost("2SC3").gate_delay, d1s + 3.0);
+  EXPECT_LE(cost("3SCC").gate_delay, d1s + 4.0);
+  EXPECT_LE(cost("2SC").gate_delay, d1s + 3.0);
+  EXPECT_GT(cost("3CCS").gate_delay, cost("3SCC").gate_delay + 3.0);
+  EXPECT_GT(cost("3CSC").gate_delay, cost("3SCC").gate_delay);
+}
+
+TEST(SchemeCost, SscBeatsScsAndCss) {
+  // §4.2: "Parallel computation of the routing also results into the
+  // lowest delay for scheme 3SSC compared to similar schemes 3SCS and
+  // 3CSS".
+  EXPECT_LT(cost("3SSC").gate_delay, cost("3SCS").gate_delay);
+  EXPECT_LT(cost("3SSC").gate_delay, cost("3CSS").gate_delay);
+}
+
+TEST(SchemeCost, SssIsTheMostExpensiveCascade) {
+  for (const Scheme& s : Scheme::paper_schemes_4t()) {
+    if (s.name() == "3SSS" || s.name() == "2SS") continue;
+    EXPECT_LT(scheme_cost(s, kM).transistors, cost("3SSS").transistors)
+        << s.name();
+    EXPECT_LT(scheme_cost(s, kM).gate_delay, cost("3SSS").gate_delay)
+        << s.name();
+  }
+}
+
+TEST(SchemeCost, ParallelVariantsCostMoreAreaThanSerial) {
+  EXPECT_GT(cost("C4").transistors, cost("3CCC").transistors);
+  EXPECT_LT(cost("C4").gate_delay, cost("3CCC").gate_delay);
+  EXPECT_GT(cost("2SC3").transistors, cost("3SCC").transistors - 300);
+  EXPECT_LE(cost("2SC3").gate_delay, cost("3SCC").gate_delay);
+}
+
+TEST(SchemeCost, EightThreadExtensionsAreOrdered) {
+  // The general grammar scales past the paper's 4 threads.
+  std::vector<MergeKind> all_csmt(7, MergeKind::kCsmt);
+  std::vector<MergeKind> one_smt = all_csmt;
+  one_smt[0] = MergeKind::kSmt;
+  const SchemeCost c8 = scheme_cost(Scheme::parallel_csmt(8), kM);
+  const SchemeCost serial8 = scheme_cost(Scheme::cascade(all_csmt), kM);
+  const SchemeCost mixed8 = scheme_cost(Scheme::cascade(one_smt), kM);
+  EXPECT_LT(c8.gate_delay, serial8.gate_delay);
+  EXPECT_GT(c8.transistors, serial8.transistors);
+  EXPECT_GT(mixed8.transistors, serial8.transistors);
+}
+
+}  // namespace
+}  // namespace cvmt

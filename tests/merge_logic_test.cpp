@@ -1,0 +1,159 @@
+// Equivalence proofs for the gate-level merge-control model: the serial
+// cascade and the parallel all-subset selector compute the same grants
+// (the paper's "functionally equivalent" claim), and both agree with the
+// behavioural MergeEngine.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/merge_engine.hpp"
+#include "core/merge_logic.hpp"
+#include "support/rng.hpp"
+
+namespace cvmt {
+namespace {
+
+const MachineConfig kM = MachineConfig::vex4x4();
+
+TEST(GateSim, SerialStageTruthTable) {
+  using gatesim::csmt_serial_stage_eval;
+  // No conflict, valid: select and accumulate.
+  auto out = csmt_serial_stage_eval(0b0001, 0b0010, true);
+  EXPECT_TRUE(out.select);
+  EXPECT_EQ(out.acc_mask, 0b0011u);
+  // Conflict: no select, accumulator unchanged.
+  out = csmt_serial_stage_eval(0b0011, 0b0010, true);
+  EXPECT_FALSE(out.select);
+  EXPECT_EQ(out.acc_mask, 0b0011u);
+  // Invalid input: never selected, even when disjoint.
+  out = csmt_serial_stage_eval(0b0001, 0b0100, false);
+  EXPECT_FALSE(out.select);
+  EXPECT_EQ(out.acc_mask, 0b0001u);
+  // Empty candidate mask (bubble): selected, accumulator unchanged.
+  out = csmt_serial_stage_eval(0b1111, 0b0000, true);
+  EXPECT_TRUE(out.select);
+  EXPECT_EQ(out.acc_mask, 0b1111u);
+}
+
+TEST(GateSim, SerialSelectGreedyByPriority) {
+  const std::uint32_t masks[] = {0b0001, 0b0001, 0b0010, 0b0001};
+  const bool valid[] = {true, true, true, true};
+  // t0 wins cluster 0; t1 conflicts; t2 disjoint; t3 conflicts.
+  EXPECT_EQ(gatesim::csmt_serial_select(masks, valid), 0b0101u);
+}
+
+TEST(GateSim, SerialSelectSkipsInvalid) {
+  const std::uint32_t masks[] = {0b0001, 0b0001, 0b0010};
+  const bool valid[] = {false, true, true};
+  EXPECT_EQ(gatesim::csmt_serial_select(masks, valid), 0b0110u);
+}
+
+TEST(GateSim, ParallelSelectPicksHighestPrioritySubset) {
+  const std::uint32_t masks[] = {0b0011, 0b0100, 0b0100};
+  const bool valid[] = {true, true, true};
+  // Feasible subsets: {0},{1},{2},{0,1},{0,2}; lex-max = {0,1}.
+  EXPECT_EQ(gatesim::csmt_parallel_select(masks, valid), 0b011u);
+}
+
+TEST(GateSim, SmtStageFeasibilityMatchesFootprintPredicate) {
+  Xoshiro256 rng(404);
+  for (int trial = 0; trial < 500; ++trial) {
+    Instruction ia, ib;
+    std::uint32_t used_a[kMaxClusters] = {}, used_b[kMaxClusters] = {};
+    for (int j = 0; j < 6; ++j) {
+      const int c = static_cast<int>(rng.next_below(4));
+      auto place = [&](Instruction& instr, std::uint32_t* used) {
+        const std::uint32_t free = 0xFu & ~used[c];
+        if (free == 0) return;
+        const int s = std::countr_zero(free);
+        used[c] |= 1u << s;
+        instr.add(make_alu(c, s));
+      };
+      if (rng.next_bool(0.5)) place(ia, used_a);
+      if (rng.next_bool(0.5)) place(ib, used_b);
+    }
+    const Footprint fa = Footprint::of(ia, kM), fb = Footprint::of(ib, kM);
+    const auto sa = gatesim::SmtPacketState::of(fa, kM);
+    const auto sb = gatesim::SmtPacketState::of(fb, kM);
+    ASSERT_EQ(gatesim::smt_stage_feasible(sa, sb, kM),
+              Footprint::smt_compatible(fa, fb, kM));
+  }
+}
+
+TEST(GateSim, SmtMergeAccumulates) {
+  gatesim::SmtPacketState a{}, b{};
+  a.fixed[1] = 0b0100;
+  a.count[1] = 2;
+  b.fixed[1] = 0b1000;
+  b.count[1] = 1;
+  gatesim::smt_stage_merge(a, b);
+  EXPECT_EQ(a.fixed[1], 0b1100u);
+  EXPECT_EQ(a.count[1], 3u);
+}
+
+// ------------------------------- Serial == Parallel == MergeEngine laws
+
+class GateSimEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  struct Cycle {
+    std::array<std::uint32_t, 4> masks;
+    std::array<bool, 4> valid;
+    std::array<Footprint, 4> fps;
+  };
+
+  Cycle random_cycle(Xoshiro256& rng) {
+    Cycle cy{};
+    for (int t = 0; t < 4; ++t) {
+      cy.valid[static_cast<std::size_t>(t)] = !rng.next_bool(0.25);
+      Instruction instr;
+      const int k = static_cast<int>(rng.next_below(4));
+      std::uint32_t used = 0;
+      for (int j = 0; j < k; ++j) {
+        const int c = static_cast<int>(rng.next_below(4));
+        if (used & (1u << c)) continue;
+        used |= 1u << c;
+        instr.add(make_alu(c, 0));
+      }
+      cy.fps[static_cast<std::size_t>(t)] = Footprint::of(instr, kM);
+      cy.masks[static_cast<std::size_t>(t)] =
+          cy.fps[static_cast<std::size_t>(t)].cluster_mask();
+    }
+    return cy;
+  }
+};
+
+TEST_P(GateSimEquivalence, ParallelEqualsSerial) {
+  // The paper's §3: the parallel implementation is functionally
+  // equivalent to the serial cascade. Holds because cluster-disjointness
+  // is subset-closed, so greedy = lexicographically greatest feasible.
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Cycle cy = random_cycle(rng);
+    ASSERT_EQ(gatesim::csmt_serial_select(cy.masks, cy.valid),
+              gatesim::csmt_parallel_select(cy.masks, cy.valid));
+  }
+}
+
+TEST_P(GateSimEquivalence, GateModelMatchesBehaviouralEngine) {
+  Xoshiro256 rng(GetParam() ^ 0xBEEF);
+  MergeEngine engine(Scheme::parallel_csmt(4), kM, PriorityPolicy::kFixed);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Cycle cy = random_cycle(rng);
+    std::array<const Footprint*, 4> cands{};
+    for (int t = 0; t < 4; ++t)
+      cands[static_cast<std::size_t>(t)] =
+          cy.valid[static_cast<std::size_t>(t)]
+              ? &cy.fps[static_cast<std::size_t>(t)]
+              : nullptr;
+    const MergeDecision d = engine.select(
+        std::span<const Footprint* const>(cands.data(), cands.size()));
+    ASSERT_EQ(d.issued_mask,
+              gatesim::csmt_serial_select(cy.masks, cy.valid));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GateSimEquivalence,
+                         ::testing::Values(3, 7, 31, 127));
+
+}  // namespace
+}  // namespace cvmt

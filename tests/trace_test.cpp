@@ -1,0 +1,265 @@
+// Tests of the synthetic-program builder and the trace generator:
+// structural validity, determinism, resumability and statistical shape.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/stats.hpp"
+#include "trace/benchmark_suite.hpp"
+#include "trace/trace_generator.hpp"
+
+namespace cvmt {
+namespace {
+
+const MachineConfig kM = MachineConfig::vex4x4();
+
+std::shared_ptr<const SyntheticProgram> make_program(const char* name) {
+  return std::make_shared<const SyntheticProgram>(profile_by_name(name), kM);
+}
+
+TEST(BenchmarkSuite, TwelveProfilesInTableOrder) {
+  const auto& t = table1_profiles();
+  ASSERT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.front().name, "mcf");
+  EXPECT_EQ(t.back().name, "colorspace");
+  int low = 0, med = 0, high = 0;
+  for (const auto& p : t) {
+    switch (p.ilp) {
+      case IlpDegree::kLow: ++low; break;
+      case IlpDegree::kMedium: ++med; break;
+      case IlpDegree::kHigh: ++high; break;
+    }
+    EXPECT_NO_THROW(p.validate());
+  }
+  // Table 1: four benchmarks in each ILP class.
+  EXPECT_EQ(low, 4);
+  EXPECT_EQ(med, 4);
+  EXPECT_EQ(high, 4);
+}
+
+TEST(BenchmarkSuite, ProfileTargetsMatchTable1) {
+  EXPECT_DOUBLE_EQ(profile_by_name("mcf").target_ipc_real, 0.96);
+  EXPECT_DOUBLE_EQ(profile_by_name("mcf").target_ipc_perfect, 1.34);
+  EXPECT_DOUBLE_EQ(profile_by_name("colorspace").target_ipc_perfect, 8.88);
+  EXPECT_DOUBLE_EQ(profile_by_name("gsmencode").target_ipc_real, 1.07);
+  EXPECT_THROW((void)profile_by_name("quake"), CheckError);
+}
+
+TEST(BenchmarkSuite, NineWorkloadsMatchTable2) {
+  const auto& w = table2_workloads();
+  ASSERT_EQ(w.size(), 9u);
+  EXPECT_EQ(w[0].ilp_combo, "LLLL");
+  EXPECT_EQ(w[5].ilp_combo, "LLHH");
+  EXPECT_EQ(w[5].benchmarks[2], "x264");
+  EXPECT_EQ(w[8].ilp_combo, "HHHH");
+  // Every workload's ILP string matches its benchmarks' classes.
+  for (const Workload& wl : w)
+    for (int t = 0; t < 4; ++t)
+      EXPECT_EQ(wl.ilp_combo[static_cast<std::size_t>(t)],
+                to_char(profile_by_name(wl.benchmarks[
+                    static_cast<std::size_t>(t)]).ilp))
+          << wl.ilp_combo << " thread " << t;
+}
+
+TEST(ProgramLibrary, CachesAndLooksUp) {
+  ProgramLibrary lib(kM);
+  const auto a = lib.get("mcf");
+  const auto b = lib.get("mcf");
+  EXPECT_EQ(a.get(), b.get());  // shared
+  EXPECT_THROW((void)lib.lookup("idct"), CheckError);
+  lib.build_all();
+  EXPECT_NO_THROW((void)lib.lookup("idct"));
+}
+
+TEST(SyntheticProgram, EveryTemplateInstructionIsValid) {
+  for (const BenchmarkProfile& p : table1_profiles()) {
+    const SyntheticProgram prog(p, kM);
+    ASSERT_EQ(static_cast<int>(prog.loops().size()), p.num_loops);
+    for (const auto& loop : prog.loops()) {
+      EXPECT_GE(loop.real_instrs, 2);
+      for (const Instruction& instr : loop.body)
+        EXPECT_EQ(instr.validate(kM), "") << p.name;
+    }
+  }
+}
+
+TEST(SyntheticProgram, LoopsEndWithABranch) {
+  const auto prog = make_program("gsmencode");
+  for (const auto& loop : prog->loops()) {
+    const Instruction& last = loop.body.back();
+    bool has_branch = false;
+    for (const Operation& op : last)
+      has_branch |= op.kind == OpKind::kBranch;
+    EXPECT_TRUE(has_branch);
+  }
+}
+
+TEST(SyntheticProgram, FootprintCacheMatchesBodies) {
+  const auto prog = make_program("djpeg");
+  for (const auto& loop : prog->loops()) {
+    ASSERT_EQ(loop.footprints.size(), loop.body.size());
+    for (std::size_t i = 0; i < loop.body.size(); ++i)
+      EXPECT_TRUE(loop.footprints[i] == Footprint::of(loop.body[i], kM));
+  }
+}
+
+TEST(SyntheticProgram, AnalyticIpcMatchesTargets) {
+  // The builder solves bubbles and miss fractions analytically; its own
+  // expectation must land on the Table 1 targets.
+  for (const BenchmarkProfile& p : table1_profiles()) {
+    const SyntheticProgram prog(p, kM);
+    EXPECT_NEAR(prog.expected_ipc_perfect(), p.target_ipc_perfect,
+                0.08 * p.target_ipc_perfect)
+        << p.name;
+    EXPECT_NEAR(prog.expected_ipc_real(), p.target_ipc_real,
+                0.08 * p.target_ipc_real)
+        << p.name;
+  }
+}
+
+TEST(SyntheticProgram, HighIlpProgramsAreWider) {
+  const auto low = make_program("bzip2");
+  const auto high = make_program("colorspace");
+  const auto mean_ops = [](const SyntheticProgram& p) {
+    double ops = 0, instrs = 0;
+    for (const auto& loop : p.loops()) {
+      ops += static_cast<double>(loop.total_ops);
+      instrs += static_cast<double>(loop.body.size());
+    }
+    return ops / instrs;
+  };
+  EXPECT_LT(mean_ops(*low), 2.0);
+  EXPECT_GT(mean_ops(*high), 6.0);
+}
+
+TEST(SyntheticProgram, SameProfileSameProgram) {
+  const SyntheticProgram a(profile_by_name("cjpeg"), kM);
+  const SyntheticProgram b(profile_by_name("cjpeg"), kM);
+  ASSERT_EQ(a.loops().size(), b.loops().size());
+  for (std::size_t l = 0; l < a.loops().size(); ++l) {
+    ASSERT_EQ(a.loops()[l].body.size(), b.loops()[l].body.size());
+    for (std::size_t i = 0; i < a.loops()[l].body.size(); ++i)
+      EXPECT_TRUE(a.loops()[l].body[i] == b.loops()[l].body[i]);
+  }
+}
+
+TEST(TraceGenerator, DeterministicForSameSeed) {
+  const auto prog = make_program("mcf");
+  TraceGenerator a(prog, 42), b(prog, 42);
+  for (int i = 0; i < 5000; ++i) {
+    const Instruction& ia = a.next();
+    const Instruction& ib = b.next();
+    ASSERT_TRUE(ia == ib) << "diverged at " << i;
+  }
+}
+
+TEST(TraceGenerator, DifferentSeedsUseDifferentAddressSpaces) {
+  const auto prog = make_program("mcf");
+  TraceGenerator a(prog, 1), b(prog, 2);
+  const std::uint64_t pc_a = a.next().pc();
+  const std::uint64_t pc_b = b.next().pc();
+  EXPECT_NE(pc_a, pc_b);
+}
+
+TEST(TraceGenerator, CopyResumesIdentically) {
+  const auto prog = make_program("idct");
+  TraceGenerator a(prog, 7);
+  for (int i = 0; i < 1234; ++i) a.next();
+  TraceGenerator b = a;  // snapshot mid-loop
+  for (int i = 0; i < 2000; ++i) {
+    const Instruction& ia = a.next();
+    const Instruction& ib = b.next();
+    ASSERT_TRUE(ia == ib) << "diverged at " << i;
+  }
+}
+
+TEST(TraceGenerator, EmitsOnlyValidInstructions) {
+  const auto prog = make_program("x264");
+  TraceGenerator gen(prog, 3);
+  for (int i = 0; i < 10000; ++i)
+    ASSERT_EQ(gen.next().validate(kM), "");
+}
+
+TEST(TraceGenerator, FootprintMatchesEmittedInstruction) {
+  const auto prog = make_program("imgpipe");
+  TraceGenerator gen(prog, 4);
+  for (int i = 0; i < 2000; ++i) {
+    const Instruction& instr = gen.next();
+    EXPECT_TRUE(gen.current_footprint() == Footprint::of(instr, kM));
+  }
+}
+
+TEST(TraceGenerator, CountsEmittedInstructions) {
+  const auto prog = make_program("bzip2");
+  TraceGenerator gen(prog, 5);
+  for (int i = 0; i < 321; ++i) gen.next();
+  EXPECT_EQ(gen.instructions_emitted(), 321u);
+}
+
+TEST(TraceGenerator, MemOpsCarryAddressesInTheRightRegions) {
+  const auto prog = make_program("colorspace");
+  TraceGenerator gen(prog, 6);
+  int hot = 0, cold = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Instruction& instr = gen.next();
+    for (const Operation& op : instr) {
+      if (!is_memory(op.kind)) continue;
+      EXPECT_NE(op.addr, 0u);
+      // Regions: hot starts at 0x20000000, cold at 0x40000000 (plus the
+      // generator's address-space salt).
+      if (op.addr - gen.address_salt() >= 0x40000000ULL)
+        ++cold;
+      else
+        ++hot;
+    }
+  }
+  EXPECT_GT(hot, 0);
+  EXPECT_GT(cold, 0);  // colorspace streams (IPCr << IPCp)
+}
+
+TEST(TraceGenerator, GsmencodeHasNoColdStream) {
+  // gsmencode's IPCr == IPCp: the calibration must produce no miss mix.
+  const auto prog = make_program("gsmencode");
+  for (const auto& loop : prog->loops())
+    EXPECT_DOUBLE_EQ(loop.miss_frac, 0.0);
+}
+
+TEST(TraceGenerator, VerticalWasteExistsForLowIlp) {
+  const auto prog = make_program("bzip2");
+  TraceGenerator gen(prog, 8);
+  int bubbles = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) bubbles += gen.next().empty() ? 1 : 0;
+  // bzip2's IPCp (0.83) < its op density: bubbles must appear.
+  EXPECT_GT(bubbles, n / 10);
+}
+
+TEST(TraceGenerator, BranchDensityRoughlyOnePerBody) {
+  const auto prog = make_program("gsmencode");
+  TraceGenerator gen(prog, 9);
+  int taken = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (gen.next().taken_branch() != nullptr) ++taken;
+  // One loop-end taken branch per body (~body_size instructions) plus a
+  // few mid-branches.
+  const double body = static_cast<double>(n) / taken;
+  EXPECT_GT(body, 4.0);
+  EXPECT_LT(body, 40.0);
+}
+
+TEST(TraceGenerator, ClusterHomesVaryAcrossLoops) {
+  // CSMT depends on different loops anchoring to different clusters.
+  const auto prog = make_program("mcf");
+  std::map<std::uint32_t, int> mask_census;
+  for (const auto& loop : prog->loops()) {
+    std::uint32_t combined = 0;
+    for (const auto& fp : loop.footprints) combined |= fp.cluster_mask();
+    ++mask_census[combined];
+  }
+  // At least two distinct home-cluster patterns across the 12 loops.
+  EXPECT_GE(mask_census.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cvmt

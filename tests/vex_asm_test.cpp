@@ -1,0 +1,158 @@
+// Tests of the VEX-style textual program format: round-trip exactness,
+// hand-written programs, and error reporting.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "trace/vex_asm.hpp"
+
+namespace cvmt {
+namespace {
+
+const MachineConfig kM = MachineConfig::vex4x4();
+
+const char* kMiniProgram = R"(
+# A two-loop hand-written program.
+.program mini
+.machine clusters=4 issue=4
+.stride 8
+.codebytes 32
+.midtaken 0.25
+.loop trips=10.000 miss=0.000000 code=0x10000 hot=0x20000000+4096 cold=0x40000000
+{ c0.0 alu ; c0.2 ld }
+{ }
+{ c0.3 br }
+.endloop
+.loop trips=4.000 miss=0.250000 code=0x11000 hot=0x20001000+4096 cold=0x44000000
+{ c1.0 alu ; c2.1 mpy ; c1.2 st }
+{ c1.3 br }
+.endloop
+)";
+
+TEST(VexAsm, ParsesHandWrittenProgram) {
+  const auto prog = parse_program(kMiniProgram, kM);
+  EXPECT_EQ(prog->profile().name, "mini");
+  ASSERT_EQ(prog->loops().size(), 2u);
+  const auto& l0 = prog->loops()[0];
+  EXPECT_EQ(l0.body.size(), 3u);
+  EXPECT_EQ(l0.real_instrs, 2);
+  EXPECT_EQ(l0.total_ops, 3);
+  EXPECT_EQ(l0.mem_ops, 1);
+  EXPECT_DOUBLE_EQ(l0.mean_trips, 10.0);
+  EXPECT_EQ(l0.code_base, 0x10000u);
+  EXPECT_EQ(l0.body[1].op_count(), 0u);  // the bubble
+  // cycles = 3 instructions + 2 taken-branch penalty.
+  EXPECT_DOUBLE_EQ(l0.expected_cycles_perfect, 5.0);
+  const auto& l1 = prog->loops()[1];
+  EXPECT_DOUBLE_EQ(l1.miss_frac, 0.25);
+  EXPECT_EQ(l1.cold_base, 0x44000000u);
+}
+
+TEST(VexAsm, ParsedProgramExecutes) {
+  const auto prog = parse_program(kMiniProgram, kM);
+  TraceGenerator gen(prog, 1);
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_EQ(gen.next().validate(kM), "");
+  EXPECT_EQ(gen.instructions_emitted(), 1000u);
+}
+
+TEST(VexAsm, RoundTripIsExact) {
+  for (const char* name : {"mcf", "idct", "colorspace"}) {
+    ProgramLibrary lib(kM);
+    const auto original = lib.get(name);
+    const std::string text = dump_program(*original);
+    const auto reparsed = parse_program(text, kM);
+    EXPECT_EQ(dump_program(*reparsed), text) << name;
+  }
+}
+
+TEST(VexAsm, ReparsedProgramSimulatesIdentically) {
+  ProgramLibrary lib(kM);
+  const auto original = lib.get("djpeg");
+  const auto reparsed = parse_program(dump_program(*original), kM);
+  // Same stream seed => identical dynamic streams.
+  TraceGenerator a(original, 11), b(reparsed, 11);
+  for (int i = 0; i < 4000; ++i) {
+    const Instruction& ia = a.next();
+    const Instruction& ib = b.next();
+    ASSERT_TRUE(ia == ib) << "diverged at " << i;
+  }
+}
+
+TEST(VexAsm, ReparsedProgramMatchesEndToEndSimulation) {
+  ProgramLibrary lib(kM);
+  const auto original = lib.get("cjpeg");
+  const auto reparsed = parse_program(dump_program(*original), kM);
+  SimConfig cfg;
+  cfg.instruction_budget = 20'000;
+  const SimResult ra =
+      run_simulation(Scheme::single_thread(), {original}, cfg);
+  const SimResult rb =
+      run_simulation(Scheme::single_thread(), {reparsed}, cfg);
+  EXPECT_EQ(ra.cycles, rb.cycles);
+  EXPECT_EQ(ra.total_ops, rb.total_ops);
+}
+
+TEST(VexAsm, DumpContainsMachineAndLoops) {
+  ProgramLibrary lib(kM);
+  const std::string text = dump_program(*lib.get("gsmencode"));
+  EXPECT_NE(text.find(".program gsmencode"), std::string::npos);
+  EXPECT_NE(text.find(".machine clusters=4 issue=4"), std::string::npos);
+  EXPECT_NE(text.find(".loop "), std::string::npos);
+  EXPECT_NE(text.find(".endloop"), std::string::npos);
+}
+
+TEST(VexAsm, RejectsMachineMismatch) {
+  EXPECT_THROW((void)parse_program(kMiniProgram, MachineConfig::vex4x2()),
+               CheckError);
+}
+
+TEST(VexAsm, RejectsMalformedInput) {
+  // Missing .machine.
+  EXPECT_THROW((void)parse_program(".program x\n", kM), CheckError);
+  // Instruction outside a loop.
+  EXPECT_THROW(
+      (void)parse_program(".machine clusters=4 issue=4\n{ c0.0 alu }\n",
+                          kM),
+      CheckError);
+  // Unterminated loop (also lacks the final branch).
+  EXPECT_THROW((void)parse_program(".machine clusters=4 issue=4\n"
+                                   ".loop trips=1 miss=0 code=0x0 "
+                                   "hot=0x0+64 cold=0x0\n{ c0.0 alu }\n",
+                                   kM),
+               CheckError);
+  // Unknown op kind.
+  EXPECT_THROW((void)parse_program(".machine clusters=4 issue=4\n"
+                                   ".loop trips=1 miss=0 code=0x0 "
+                                   "hot=0x0+64 cold=0x0\n{ c0.0 fma }\n"
+                                   ".endloop\n",
+                                   kM),
+               CheckError);
+  // Unknown directive.
+  EXPECT_THROW((void)parse_program(".bogus\n", kM), CheckError);
+}
+
+TEST(VexAsm, RejectsSemanticallyInvalidLoops) {
+  // Loop whose last instruction has no branch.
+  const char* no_branch =
+      ".machine clusters=4 issue=4\n"
+      ".loop trips=1 miss=0 code=0x0 hot=0x0+64 cold=0x0\n"
+      "{ c0.0 alu }\n"
+      ".endloop\n";
+  EXPECT_THROW((void)parse_program(no_branch, kM), CheckError);
+  // Operation on a slot that cannot execute it.
+  const char* bad_slot =
+      ".machine clusters=4 issue=4\n"
+      ".loop trips=1 miss=0 code=0x0 hot=0x0+64 cold=0x0\n"
+      "{ c0.0 ld ; c0.3 br }\n"
+      ".endloop\n";
+  EXPECT_THROW((void)parse_program(bad_slot, kM), CheckError);
+}
+
+TEST(VexAsm, CommentsAndBlankLinesIgnored) {
+  const std::string text = std::string("# leading comment\n\n") +
+                           kMiniProgram + "\n# trailing\n";
+  EXPECT_NO_THROW((void)parse_program(text, kM));
+}
+
+}  // namespace
+}  // namespace cvmt
