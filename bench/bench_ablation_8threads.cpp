@@ -26,9 +26,6 @@ int main() {
   print_banner(std::cout,
                "Ablation: 8-thread schemes (beyond the paper's 4)");
 
-  ProgramLibrary lib(cfg.sim.machine);
-  lib.build_all();
-
   // The tree entry demonstrates the functional grammar: two 4-thread
   // halves, each 2SC3-style, joined by CSMT.
   const Scheme tree8 =
@@ -36,26 +33,26 @@ int main() {
   const std::vector<Scheme> all = {Scheme::parallel_csmt(8), mixed_8t(0),
                                    mixed_8t(1), mixed_8t(2), tree8};
 
-  TableWriter t({"Scheme", "Avg IPC", "Transistors", "Gate delays"});
+  // One batch for the whole table: scheme si, workload w at si*W+w, each
+  // workload doubled to 8 software threads on 8 contexts.
+  const auto& wls = table2_workloads();
+  std::vector<BatchJob> jobs;
+  jobs.reserve(all.size() * wls.size());
   for (const Scheme& s : all) {
-    const auto& wls = table2_workloads();
-    std::vector<double> ipcs(wls.size(), 0.0);
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-    for (std::size_t w = 0; w < wls.size(); ++w) {
-      // Double the workload: 8 software threads on 8 contexts.
-      std::vector<std::shared_ptr<const SyntheticProgram>> progs;
-      for (const auto& name : wls[w].benchmarks)
-        progs.push_back(lib.lookup(name));
-      for (const auto& name : wls[w].benchmarks)
-        progs.push_back(lib.lookup(name));
-      ipcs[w] = run_simulation(s, progs, cfg.sim).ipc;
+    for (const Workload& w : wls) {
+      BatchJob job = make_job(s, w, cfg.sim);
+      job.benchmarks.insert(job.benchmarks.end(), w.benchmarks.begin(),
+                            w.benchmarks.end());
+      jobs.push_back(std::move(job));
     }
-    double sum = 0.0;
-    for (double v : ipcs) sum += v;
-    const SchemeCost c = scheme_cost(s, cfg.sim.machine);
-    t.add_row({s.name(), format_fixed(sum / 9.0, 2),
+  }
+  const std::vector<double> avg =
+      group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
+
+  TableWriter t({"Scheme", "Avg IPC", "Transistors", "Gate delays"});
+  for (std::size_t si = 0; si < all.size(); ++si) {
+    const SchemeCost c = scheme_cost(all[si], cfg.sim.machine);
+    t.add_row({all[si].name(), format_fixed(avg[si], 2),
                format_grouped(c.transistors),
                format_fixed(c.gate_delay, 1)});
   }

@@ -8,27 +8,6 @@
 #include "exp/report.hpp"
 #include "support/string_util.hpp"
 
-namespace {
-
-using namespace cvmt;
-
-double average_ipc(const Scheme& scheme, const SimConfig& sim) {
-  ProgramLibrary lib(sim.machine);
-  lib.build_all();
-  const auto& wls = table2_workloads();
-  std::vector<double> ipcs(wls.size(), 0.0);
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (std::size_t w = 0; w < wls.size(); ++w)
-    ipcs[w] = run_workload(scheme, wls[w], lib, sim).ipc;
-  double sum = 0.0;
-  for (double v : ipcs) sum += v;
-  return sum / static_cast<double>(wls.size());
-}
-
-}  // namespace
-
 int main() {
   using namespace cvmt;
   const ExperimentConfig cfg = ExperimentConfig::from_env();
@@ -52,15 +31,24 @@ int main() {
       {"SMT-4 (3SSS)", Scheme::parse("3SSS"), PriorityPolicy::kRoundRobin},
   };
 
-  TableWriter t({"Configuration", "Avg IPC", "vs single"});
-  double base = 0.0;
+  // One batch for the whole ladder: config c, workload w at c*W+w.
+  const auto& wls = table2_workloads();
+  std::vector<BatchJob> jobs;
+  jobs.reserve(ladder.size() * wls.size());
   for (const Config& c : ladder) {
     SimConfig sim = cfg.sim;
     sim.priority = c.policy;
-    const double ipc = average_ipc(c.scheme, sim);
-    if (base == 0.0) base = ipc;
-    t.add_row({c.label, format_fixed(ipc, 2),
-               format_fixed(percent_diff(ipc, base), 1) + "%"});
+    for (const Workload& w : wls) jobs.push_back(make_job(c.scheme, w, sim));
+  }
+  const std::vector<double> avg =
+      group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
+
+  TableWriter t({"Configuration", "Avg IPC", "vs single"});
+  double base = 0.0;
+  for (std::size_t c = 0; c < ladder.size(); ++c) {
+    if (base == 0.0) base = avg[c];
+    t.add_row({ladder[c].label, format_fixed(avg[c], 2),
+               format_fixed(percent_diff(avg[c], base), 1) + "%"});
   }
   emit(std::cout, t);
   std::cout << "\nLadder: IMT/BMT reclaim vertical waste caused by stalls\n"

@@ -5,75 +5,69 @@
 //   * tree-atomicity (what the paper's tree schemes give up).
 // Each ablation reruns a representative scheme on all workloads.
 #include <iostream>
+#include <vector>
 
 #include "exp/report.hpp"
 #include "support/string_util.hpp"
-
-namespace {
-
-using namespace cvmt;
-
-double average_ipc(const Scheme& scheme, const SimConfig& sim) {
-  ProgramLibrary lib(sim.machine);
-  lib.build_all();
-  double sum = 0.0;
-  const auto& wls = table2_workloads();
-  std::vector<double> ipcs(wls.size(), 0.0);
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (std::size_t w = 0; w < wls.size(); ++w)
-    ipcs[w] = run_workload(scheme, wls[w], lib, sim).ipc;
-  for (double v : ipcs) sum += v;
-  return sum / static_cast<double>(wls.size());
-}
-
-}  // namespace
 
 int main() {
   using namespace cvmt;
   const ExperimentConfig cfg = ExperimentConfig::from_env();
   print_banner(std::cout, "Ablation: simulator design choices");
 
-  TableWriter t({"Ablation", "Setting", "Scheme", "Avg IPC"});
-
+  struct Cell {
+    const char* ablation;
+    const char* setting;
+    const char* scheme;
+    SimConfig sim;
+  };
+  std::vector<Cell> cells;
   for (const char* scheme_name : {"3CCC", "2SC3", "3SSS"}) {
-    const Scheme scheme = Scheme::parse(scheme_name);
-
     SimConfig rr = cfg.sim;
     rr.priority = PriorityPolicy::kRoundRobin;
     SimConfig fx = cfg.sim;
     fx.priority = PriorityPolicy::kFixed;
-    t.add_row({"priority", "round-robin", scheme_name,
-               format_fixed(average_ipc(scheme, rr), 3)});
-    t.add_row({"priority", "fixed", scheme_name,
-               format_fixed(average_ipc(scheme, fx), 3)});
+    cells.push_back({"priority", "round-robin", scheme_name, rr});
+    cells.push_back({"priority", "fixed", scheme_name, fx});
 
     SimConfig ser = cfg.sim;
     ser.miss_policy = MissPolicy::kSerialized;
     SimConfig ovl = cfg.sim;
     ovl.miss_policy = MissPolicy::kOverlapped;
-    t.add_row({"miss policy", "serialized", scheme_name,
-               format_fixed(average_ipc(scheme, ser), 3)});
-    t.add_row({"miss policy", "overlapped", scheme_name,
-               format_fixed(average_ipc(scheme, ovl), 3)});
+    cells.push_back({"miss policy", "serialized", scheme_name, ser});
+    cells.push_back({"miss policy", "overlapped", scheme_name, ovl});
 
     SimConfig shared = cfg.sim;
     SimConfig priv = cfg.sim;
     priv.mem.sharing = CacheSharing::kPrivate;
-    t.add_row({"caches", "shared", scheme_name,
-               format_fixed(average_ipc(scheme, shared), 3)});
-    t.add_row({"caches", "private", scheme_name,
-               format_fixed(average_ipc(scheme, priv), 3)});
-    t.add_separator();
+    cells.push_back({"caches", "shared", scheme_name, shared});
+    cells.push_back({"caches", "private", scheme_name, priv});
   }
-
   // Tree atomicity: 2CC versus the cascade 3CCC (the cascade is the
   // "fallback" hardware that re-tries group members individually).
-  t.add_row({"tree atomicity", "atomic groups (2CC)", "2CC",
-             format_fixed(average_ipc(Scheme::parse("2CC"), cfg.sim), 3)});
-  t.add_row({"tree atomicity", "per-thread cascade (3CCC)", "3CCC",
-             format_fixed(average_ipc(Scheme::parse("3CCC"), cfg.sim), 3)});
+  const std::size_t kSchemeGroupCells = 6;  // separator after each group
+  cells.push_back(
+      {"tree atomicity", "atomic groups (2CC)", "2CC", cfg.sim});
+  cells.push_back(
+      {"tree atomicity", "per-thread cascade (3CCC)", "3CCC", cfg.sim});
+
+  // One batch for the whole table: cell c, workload w at c*W+w.
+  const auto& wls = table2_workloads();
+  std::vector<BatchJob> jobs;
+  jobs.reserve(cells.size() * wls.size());
+  for (const Cell& c : cells)
+    for (const Workload& w : wls)
+      jobs.push_back(make_job(Scheme::parse(c.scheme), w, c.sim));
+  const std::vector<double> avg =
+      group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
+
+  TableWriter t({"Ablation", "Setting", "Scheme", "Avg IPC"});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    t.add_row({cells[c].ablation, cells[c].setting, cells[c].scheme,
+               format_fixed(avg[c], 3)});
+    if ((c + 1) % kSchemeGroupCells == 0 && c + 2 < cells.size())
+      t.add_separator();
+  }
 
   emit(std::cout, t);
   return 0;

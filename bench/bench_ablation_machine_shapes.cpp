@@ -8,26 +8,6 @@
 #include "exp/report.hpp"
 #include "support/string_util.hpp"
 
-namespace {
-
-using namespace cvmt;
-
-double average_ipc(const Scheme& scheme, const SimConfig& sim,
-                   ProgramLibrary& lib) {
-  const auto& wls = table2_workloads();
-  std::vector<double> ipcs(wls.size(), 0.0);
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (std::size_t w = 0; w < wls.size(); ++w)
-    ipcs[w] = run_workload(scheme, wls[w], lib, sim).ipc;
-  double sum = 0.0;
-  for (double v : ipcs) sum += v;
-  return sum / static_cast<double>(wls.size());
-}
-
-}  // namespace
-
 int main() {
   using namespace cvmt;
   const ExperimentConfig cfg = ExperimentConfig::from_env();
@@ -46,17 +26,25 @@ int main() {
     const MachineConfig machine = MachineConfig::clustered(clusters, width);
     SimConfig sim = cfg.sim;
     sim.machine = machine;
-    ProgramLibrary lib(machine);
-    lib.build_all();
+
+    // One batch per machine shape: every scheme on every workload.
+    const auto& wls = table2_workloads();
+    std::vector<BatchJob> jobs;
+    jobs.reserve(std::size(schemes) * wls.size());
+    for (const char* s : schemes)
+      for (const Workload& w : wls)
+        jobs.push_back(make_job(Scheme::parse(s), w, sim));
+    const std::vector<double> avg =
+        group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
+
     std::vector<std::string> row{
         std::to_string(clusters) + "x" + std::to_string(width),
         std::to_string(machine.total_issue_width())};
     double csmt = 0.0, mixed = 0.0;
-    for (const char* s : schemes) {
-      const double ipc = average_ipc(Scheme::parse(s), sim, lib);
-      if (std::string(s) == "3CCC") csmt = ipc;
-      if (std::string(s) == "2SC3") mixed = ipc;
-      row.push_back(format_fixed(ipc, 2));
+    for (std::size_t si = 0; si < std::size(schemes); ++si) {
+      if (std::string(schemes[si]) == "3CCC") csmt = avg[si];
+      if (std::string(schemes[si]) == "2SC3") mixed = avg[si];
+      row.push_back(format_fixed(avg[si], 2));
     }
     row.push_back(format_fixed(percent_diff(mixed, csmt), 1) + "%");
     t.add_row(std::move(row));

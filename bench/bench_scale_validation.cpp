@@ -16,20 +16,18 @@ struct Relations {
   double sc3_vs_csmt, sc3_vs_1s, smt4_vs_1s;
 };
 
-Relations measure(ProgramLibrary& lib, const SimConfig& sim) {
+Relations measure(const SimConfig& sim, const BatchOptions& batch) {
   const char* names[] = {"1S", "3CCC", "2SC3", "3SSS"};
-  double avg[4] = {};
   const auto& wls = table2_workloads();
-  for (int s = 0; s < 4; ++s) {
-    std::vector<double> ipcs(wls.size(), 0.0);
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-    for (std::size_t w = 0; w < wls.size(); ++w)
-      ipcs[w] = run_workload(Scheme::parse(names[s]), wls[w], lib, sim).ipc;
-    for (double v : ipcs) avg[s] += v;
-    avg[s] /= static_cast<double>(wls.size());
-  }
+
+  // One batch per scale point: every scheme on every workload.
+  std::vector<BatchJob> jobs;
+  jobs.reserve(std::size(names) * wls.size());
+  for (const char* name : names)
+    for (const Workload& w : wls)
+      jobs.push_back(make_job(Scheme::parse(name), w, sim));
+  const std::vector<double> avg =
+      group_averages(run_batch_ipc(jobs, batch), wls.size());
   return {percent_diff(avg[2], avg[1]), percent_diff(avg[2], avg[0]),
           percent_diff(avg[3], avg[0])};
 }
@@ -40,8 +38,7 @@ int main() {
   using namespace cvmt;
   print_banner(std::cout, "Scale-down validation (paper: 100M instrs, "
                           "1M-cycle timeslice)");
-  ProgramLibrary lib(MachineConfig::vex4x4());
-  lib.build_all();
+  const BatchOptions batch = ExperimentConfig::from_env().batch;
 
   TableWriter t({"Budget (instrs)", "Timeslice (cycles)", "2SC3 vs 3CCC",
                  "2SC3 vs 1S", "3SSS vs 1S"});
@@ -52,7 +49,7 @@ int main() {
     SimConfig sim;
     sim.instruction_budget = budget;
     sim.timeslice_cycles = slice;
-    const Relations r = measure(lib, sim);
+    const Relations r = measure(sim, batch);
     t.add_row({format_grouped(static_cast<long long>(budget)),
                format_grouped(static_cast<long long>(slice)),
                format_fixed(r.sc3_vs_csmt, 1) + "%",

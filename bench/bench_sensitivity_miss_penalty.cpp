@@ -11,44 +11,29 @@
 #include "exp/report.hpp"
 #include "support/string_util.hpp"
 
-namespace {
-
-using namespace cvmt;
-
-double average_ipc(const Scheme& scheme, const SimConfig& sim,
-                   ProgramLibrary& lib) {
-  const auto& wls = table2_workloads();
-  std::vector<double> ipcs(wls.size(), 0.0);
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (std::size_t w = 0; w < wls.size(); ++w)
-    ipcs[w] = run_workload(scheme, wls[w], lib, sim).ipc;
-  double sum = 0.0;
-  for (double v : ipcs) sum += v;
-  return sum / static_cast<double>(wls.size());
-}
-
-}  // namespace
-
 int main() {
   using namespace cvmt;
   const ExperimentConfig cfg = ExperimentConfig::from_env();
   print_banner(std::cout, "Sensitivity: DCache/ICache miss penalty");
 
-  ProgramLibrary lib(cfg.sim.machine);
-  lib.build_all();
-
   TableWriter t({"Miss penalty", "1S", "3CCC", "2SC3", "3SSS",
                  "2SC3 vs 3CCC", "3SSS vs 1S"});
+  const char* names[] = {"1S", "3CCC", "2SC3", "3SSS"};
   for (int penalty : {5, 10, 20, 40, 80}) {
     SimConfig sim = cfg.sim;
     sim.mem.icache.miss_penalty = penalty;
     sim.mem.dcache.miss_penalty = penalty;
-    const double s1 = average_ipc(Scheme::parse("1S"), sim, lib);
-    const double ccc = average_ipc(Scheme::parse("3CCC"), sim, lib);
-    const double sc3 = average_ipc(Scheme::parse("2SC3"), sim, lib);
-    const double sss = average_ipc(Scheme::parse("3SSS"), sim, lib);
+
+    // One batch per penalty: every scheme on every workload.
+    const auto& wls = table2_workloads();
+    std::vector<BatchJob> jobs;
+    jobs.reserve(std::size(names) * wls.size());
+    for (const char* name : names)
+      for (const Workload& w : wls)
+        jobs.push_back(make_job(Scheme::parse(name), w, sim));
+    const std::vector<double> avg =
+        group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
+    const double s1 = avg[0], ccc = avg[1], sc3 = avg[2], sss = avg[3];
     t.add_row({std::to_string(penalty), format_fixed(s1, 2),
                format_fixed(ccc, 2), format_fixed(sc3, 2),
                format_fixed(sss, 2),

@@ -1,0 +1,111 @@
+#include "exp/batch_runner.hpp"
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace cvmt {
+namespace {
+
+/// Process-wide cache of pre-built program libraries, one per distinct
+/// machine config. Programs are immutable once built, so sharing across
+/// batches is safe; the mutex serialises the (rare) build of a new
+/// machine's set, and workers afterwards only call the const,
+/// concurrency-safe ProgramLibrary::lookup.
+const ProgramLibrary& library_for(const MachineConfig& machine) {
+  static std::mutex mu;
+  static std::vector<
+      std::pair<MachineConfig, std::unique_ptr<ProgramLibrary>>>
+      libs;
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& [m, lib] : libs)
+    if (m == machine) return *lib;
+  auto lib = std::make_unique<ProgramLibrary>(machine);
+  lib->build_all();
+  libs.emplace_back(machine, std::move(lib));
+  return *libs.back().second;
+}
+
+SimResult run_one(const BatchJob& job, const ProgramLibrary& lib) {
+  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  programs.reserve(job.benchmarks.size());
+  for (const std::string& name : job.benchmarks)
+    programs.push_back(lib.lookup(name));
+  return run_simulation(job.scheme, programs, job.sim);
+}
+
+}  // namespace
+
+BatchJob make_job(const Scheme& scheme, const Workload& workload,
+                  const SimConfig& sim) {
+  BatchJob job;
+  job.scheme = scheme;
+  job.benchmarks.assign(workload.benchmarks.begin(),
+                        workload.benchmarks.end());
+  job.sim = sim;
+  return job;
+}
+
+unsigned resolve_workers(const BatchOptions& opts, std::size_t num_jobs) {
+  if (num_jobs == 0) return 1;
+  unsigned workers = opts.workers;
+  if (workers == 0) workers = ThreadPool::hardware_workers();
+  if (num_jobs < workers) workers = static_cast<unsigned>(num_jobs);
+  return workers == 0 ? 1u : workers;
+}
+
+std::vector<SimResult> run_batch(std::span<const BatchJob> jobs,
+                                 const BatchOptions& opts) {
+  std::vector<const ProgramLibrary*> library_of;
+  library_of.reserve(jobs.size());
+  for (const BatchJob& job : jobs)
+    library_of.push_back(&library_for(job.sim.machine));
+
+  std::vector<SimResult> results(jobs.size());
+  const unsigned workers = resolve_workers(opts, jobs.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      results[i] = run_one(jobs[i], *library_of[i]);
+    return results;
+  }
+
+  ThreadPool pool(workers);
+  std::vector<std::future<void>> pending;
+  pending.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    pending.push_back(pool.submit(
+        [&jobs, &library_of, &results, i] {
+          results[i] = run_one(jobs[i], *library_of[i]);
+        }));
+  for (auto& f : pending) f.get();  // rethrows the first job failure
+  return results;
+}
+
+std::vector<double> run_batch_ipc(std::span<const BatchJob> jobs,
+                                  const BatchOptions& opts) {
+  const std::vector<SimResult> results = run_batch(jobs, opts);
+  std::vector<double> ipc;
+  ipc.reserve(results.size());
+  for (const SimResult& r : results) ipc.push_back(r.ipc);
+  return ipc;
+}
+
+std::vector<double> group_averages(std::span<const double> values,
+                                   std::size_t group_size) {
+  CVMT_CHECK_MSG(group_size > 0 && values.size() % group_size == 0,
+                 "values must hold whole groups");
+  std::vector<double> averages(values.size() / group_size, 0.0);
+  for (std::size_t g = 0; g < averages.size(); ++g) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < group_size; ++i)
+      sum += values[g * group_size + i];
+    averages[g] = sum / static_cast<double>(group_size);
+  }
+  return averages;
+}
+
+}  // namespace cvmt

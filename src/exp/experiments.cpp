@@ -1,25 +1,12 @@
 #include "exp/experiments.hpp"
 
-#include <cstdlib>
+#include <algorithm>
+#include <limits>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace cvmt {
-namespace {
-
-std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  return std::strtoull(v, nullptr, 10);
-}
-
-/// Runs one Table 2 workload under `scheme` and returns total IPC.
-double workload_ipc(const Scheme& scheme, const Workload& wl,
-                    ProgramLibrary& lib, const SimConfig& sim) {
-  return run_workload(scheme, wl, lib, sim).ipc;
-}
-
-}  // namespace
 
 ExperimentConfig ExperimentConfig::from_env() {
   ExperimentConfig cfg;
@@ -31,60 +18,62 @@ ExperimentConfig ExperimentConfig::from_env() {
       env_u64("CVMT_BUDGET", cfg.sim.instruction_budget);
   cfg.sim.timeslice_cycles =
       env_u64("CVMT_TIMESLICE", cfg.sim.timeslice_cycles);
+  constexpr std::uint64_t kMaxWorkers =
+      std::numeric_limits<unsigned>::max();
+  cfg.batch.workers = static_cast<unsigned>(
+      std::min(env_u64("CVMT_WORKERS", 0), kMaxWorkers));
   return cfg;
 }
 
 std::vector<Table1Row> run_table1(const ExperimentConfig& cfg) {
-  ProgramLibrary lib(cfg.sim.machine);
-  lib.build_all();
   const auto& profiles = table1_profiles();
-  std::vector<Table1Row> rows(profiles.size());
+  const Scheme single = Scheme::single_thread();
 
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
+  SimConfig real = cfg.sim;
+  SimConfig perfect = cfg.sim;
+  perfect.mem.perfect = true;
+
+  // Jobs 2i / 2i+1: benchmark i with real / perfect memory.
+  std::vector<BatchJob> jobs;
+  jobs.reserve(profiles.size() * 2);
+  for (const BenchmarkProfile& p : profiles) {
+    jobs.push_back({single, {p.name}, real});
+    jobs.push_back({single, {p.name}, perfect});
+  }
+  const std::vector<double> ipc = run_batch_ipc(jobs, cfg.batch);
+
+  std::vector<Table1Row> rows(profiles.size());
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     const BenchmarkProfile& p = profiles[i];
-    const auto program = lib.lookup(p.name);
-    const Scheme single = Scheme::single_thread();
-
-    SimConfig real = cfg.sim;
-    SimConfig perfect = cfg.sim;
-    perfect.mem.perfect = true;
-
-    Table1Row row;
+    Table1Row& row = rows[i];
     row.name = p.name;
     row.ilp = to_char(p.ilp);
     row.paper_ipc_real = p.target_ipc_real;
     row.paper_ipc_perfect = p.target_ipc_perfect;
-    row.sim_ipc_real = run_simulation(single, {program}, real).ipc;
-    row.sim_ipc_perfect = run_simulation(single, {program}, perfect).ipc;
-    rows[i] = std::move(row);
+    row.sim_ipc_real = ipc[2 * i];
+    row.sim_ipc_perfect = ipc[2 * i + 1];
   }
   return rows;
 }
 
 std::vector<Fig4Row> run_fig4(const ExperimentConfig& cfg) {
-  ProgramLibrary lib(cfg.sim.machine);
-  lib.build_all();
   const auto& workloads = table2_workloads();
 
   const Scheme configs[] = {Scheme::single_thread(), Scheme::parse("1S"),
                             Scheme::parse("3SSS")};
   const char* names[] = {"Single-thread", "2-Thread", "4-Thread"};
 
+  // Job c*W+w: processor config c on workload w.
+  std::vector<BatchJob> jobs;
+  jobs.reserve(3 * workloads.size());
+  for (const Scheme& config : configs)
+    for (const Workload& w : workloads)
+      jobs.push_back(make_job(config, w, cfg.sim));
+  const std::vector<double> avg =
+      group_averages(run_batch_ipc(jobs, cfg.batch), workloads.size());
+
   std::vector<Fig4Row> rows;
-  for (int c = 0; c < 3; ++c) {
-    double sum = 0.0;
-    std::vector<double> ipcs(workloads.size(), 0.0);
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-    for (std::size_t w = 0; w < workloads.size(); ++w)
-      ipcs[w] = workload_ipc(configs[c], workloads[w], lib, cfg.sim);
-    for (double v : ipcs) sum += v;
-    rows.push_back({names[c], sum / static_cast<double>(workloads.size())});
-  }
+  for (std::size_t c = 0; c < 3; ++c) rows.push_back({names[c], avg[c]});
   return rows;
 }
 
@@ -104,23 +93,26 @@ std::vector<Fig5Row> run_fig5(const MachineConfig& machine, int min_threads,
 }
 
 std::vector<Fig6Row> run_fig6(const ExperimentConfig& cfg) {
-  ProgramLibrary lib(cfg.sim.machine);
-  lib.build_all();
   const auto& workloads = table2_workloads();
   const Scheme smt = Scheme::parse("3SSS");
   const Scheme csmt = Scheme::parse("3CCC");
 
+  // Jobs 2w / 2w+1: workload w under SMT / CSMT.
+  std::vector<BatchJob> jobs;
+  jobs.reserve(workloads.size() * 2);
+  for (const Workload& w : workloads) {
+    jobs.push_back(make_job(smt, w, cfg.sim));
+    jobs.push_back(make_job(csmt, w, cfg.sim));
+  }
+  const std::vector<double> ipc = run_batch_ipc(jobs, cfg.batch);
+
   std::vector<Fig6Row> rows(workloads.size());
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
   for (std::size_t w = 0; w < workloads.size(); ++w) {
-    Fig6Row row;
+    Fig6Row& row = rows[w];
     row.workload = workloads[w].ilp_combo;
-    row.smt_ipc = workload_ipc(smt, workloads[w], lib, cfg.sim);
-    row.csmt_ipc = workload_ipc(csmt, workloads[w], lib, cfg.sim);
+    row.smt_ipc = ipc[2 * w];
+    row.csmt_ipc = ipc[2 * w + 1];
     row.advantage_pct = percent_diff(row.smt_ipc, row.csmt_ipc);
-    rows[w] = std::move(row);
   }
   return rows;
 }
@@ -152,8 +144,6 @@ double Fig10Result::average_of(std::string_view scheme) const {
 }
 
 Fig10Result run_fig10(const ExperimentConfig& cfg) {
-  ProgramLibrary lib(cfg.sim.machine);
-  lib.build_all();
   const auto& workloads = table2_workloads();
   const std::vector<Scheme> schemes = Scheme::paper_schemes_4t();
 
@@ -163,16 +153,17 @@ Fig10Result run_fig10(const ExperimentConfig& cfg) {
   r.ipc.assign(workloads.size(),
                std::vector<double>(schemes.size(), 0.0));
 
-  // Flatten the (workload, scheme) grid for the parallel sweep.
-  const std::size_t total = workloads.size() * schemes.size();
-#ifdef CVMT_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (std::size_t k = 0; k < total; ++k) {
-    const std::size_t w = k / schemes.size();
-    const std::size_t s = k % schemes.size();
-    r.ipc[w][s] = workload_ipc(schemes[s], workloads[w], lib, cfg.sim);
-  }
+  // Flatten the (workload, scheme) grid: job w*S+s is workload w under
+  // scheme s.
+  std::vector<BatchJob> jobs;
+  jobs.reserve(workloads.size() * schemes.size());
+  for (const Workload& w : workloads)
+    for (const Scheme& s : schemes) jobs.push_back(make_job(s, w, cfg.sim));
+  const std::vector<double> ipc = run_batch_ipc(jobs, cfg.batch);
+
+  for (std::size_t w = 0; w < workloads.size(); ++w)
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+      r.ipc[w][s] = ipc[w * schemes.size() + s];
 
   r.average.assign(schemes.size(), 0.0);
   for (std::size_t s = 0; s < schemes.size(); ++s) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cost/scheme_cost.hpp"
+#include "exp/batch_runner.hpp"
 #include "sim/simulation.hpp"
 
 namespace cvmt {
@@ -16,11 +17,16 @@ namespace cvmt {
 /// Common configuration for all simulation-backed experiments.
 struct ExperimentConfig {
   SimConfig sim;
+  /// Fan-out options for the batch runner. from_env() fills workers from
+  /// CVMT_WORKERS (0 = all hardware cores); results are identical for any
+  /// worker count.
+  BatchOptions batch;
 
   /// Builds defaults, honouring environment overrides:
   ///   CVMT_BUDGET    instructions per thread (default SimConfig's)
   ///   CVMT_TIMESLICE timeslice cycles
   ///   CVMT_FAST=1    small budgets for smoke tests
+  ///   CVMT_WORKERS   batch-runner worker threads (default: all cores)
   [[nodiscard]] static ExperimentConfig from_env();
 };
 

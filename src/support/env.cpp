@@ -1,0 +1,35 @@
+#include "support/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cvmt {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+
+  // strtoull alone is too permissive: it skips signs (negating modulo
+  // 2^64) and stops at the first non-digit, so "abc" would parse as 0 and
+  // "123abc" as 123. Require every character to be consumed and forbid
+  // signs outright.
+  const char* p = v;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  const bool signed_input = (*p == '-' || *p == '+');
+
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (signed_input || end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "cvmt: ignoring %s=\"%s\" (expected an unsigned decimal "
+                 "integer); using default %llu\n",
+                 name, v, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace cvmt

@@ -1,0 +1,17 @@
+// Validated environment-variable parsing shared by the experiment config
+// and the batch runner. Malformed values never silently become 0: they are
+// rejected with a warning on stderr and the caller's default is used.
+#pragma once
+
+#include <cstdint>
+
+namespace cvmt {
+
+/// Reads the unsigned decimal integer environment variable `name`.
+/// Returns `fallback` when the variable is unset or empty. A value that is
+/// not a complete non-negative decimal number (non-numeric, trailing
+/// garbage, a sign, out of range) is rejected: a warning naming the
+/// variable is printed to stderr and `fallback` is returned.
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+}  // namespace cvmt

@@ -1,0 +1,57 @@
+#include "support/thread_pool.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+unsigned ThreadPool::hardware_workers() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CVMT_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Stopping discards still-queued tasks: their packaged_tasks are
+      // destroyed with the queue, surfacing broken_promise to any holder
+      // of their futures. This keeps an exception in one batch job from
+      // forcing the whole remaining batch to run during unwinding.
+      if (stopping_ || queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // packaged_task captures exceptions in its future
+  }
+}
+
+}  // namespace cvmt

@@ -1,0 +1,65 @@
+// Fixed-size worker pool with futures-based submission. Built for the
+// batch experiment runner: callers submit independent jobs and block on
+// the returned futures. The pool makes no ordering promises beyond FIFO
+// dequeue; determinism is the caller's concern (jobs must not share
+// mutable state).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cvmt {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to at least 1).
+  explicit ThreadPool(unsigned workers);
+
+  /// Lets tasks currently running finish, discards tasks still queued
+  /// (their futures report std::future_error / broken_promise), then
+  /// joins all workers. Wait on the returned futures before destroying
+  /// the pool if every task must run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Hardware concurrency, never less than 1.
+  [[nodiscard]] static unsigned hardware_workers();
+
+  /// Enqueues `fn` for execution; the returned future carries its result
+  /// or the exception it threw.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cvmt

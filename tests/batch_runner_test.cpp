@@ -1,0 +1,177 @@
+// Determinism tests for the batch experiment runner: identical runs are
+// bit-identical, and fanning a job grid across any number of workers
+// reproduces the serial reference exactly, cell for cell.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/batch_runner.hpp"
+#include "exp/experiments.hpp"
+#include "support/check.hpp"
+
+namespace cvmt {
+namespace {
+
+SimConfig tiny_sim() {
+  SimConfig sim;
+  sim.instruction_budget = 10'000;
+  sim.timeslice_cycles = 2'500;
+  return sim;
+}
+
+/// Asserts every field of two SimResults matches exactly (bit-identical
+/// counters and doubles, not approximately equal).
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.idle_cycles, b.idle_cycles);
+  EXPECT_EQ(a.ipc, b.ipc);  // exact double equality, on purpose
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (std::size_t i = 0; i < a.threads.size(); ++i) {
+    const ThreadResult& ta = a.threads[i];
+    const ThreadResult& tb = b.threads[i];
+    EXPECT_EQ(ta.benchmark, tb.benchmark);
+    EXPECT_EQ(ta.instructions, tb.instructions);
+    EXPECT_EQ(ta.ops, tb.ops);
+    EXPECT_EQ(ta.stats.bubbles, tb.stats.bubbles);
+    EXPECT_EQ(ta.stats.taken_branches, tb.stats.taken_branches);
+    EXPECT_EQ(ta.stats.dcache_stall_cycles, tb.stats.dcache_stall_cycles);
+    EXPECT_EQ(ta.stats.icache_stall_cycles, tb.stats.icache_stall_cycles);
+    EXPECT_EQ(ta.stats.branch_stall_cycles, tb.stats.branch_stall_cycles);
+  }
+  EXPECT_EQ(a.icache.hits, b.icache.hits);
+  EXPECT_EQ(a.icache.total, b.icache.total);
+  EXPECT_EQ(a.dcache.hits, b.dcache.hits);
+  EXPECT_EQ(a.dcache.total, b.dcache.total);
+  ASSERT_EQ(a.issued_per_cycle.num_buckets(), b.issued_per_cycle.num_buckets());
+  for (std::size_t i = 0; i < a.issued_per_cycle.num_buckets(); ++i)
+    EXPECT_EQ(a.issued_per_cycle.bucket(i), b.issued_per_cycle.bucket(i));
+  ASSERT_EQ(a.merge_nodes.size(), b.merge_nodes.size());
+  for (std::size_t i = 0; i < a.merge_nodes.size(); ++i) {
+    EXPECT_EQ(a.merge_nodes[i].label, b.merge_nodes[i].label);
+    EXPECT_EQ(a.merge_nodes[i].attempts, b.merge_nodes[i].attempts);
+    EXPECT_EQ(a.merge_nodes[i].rejects, b.merge_nodes[i].rejects);
+  }
+  EXPECT_EQ(a.os.context_switches, b.os.context_switches);
+  EXPECT_EQ(a.os.timeslices, b.os.timeslices);
+}
+
+TEST(Determinism, RunWorkloadTwiceIsBitIdentical) {
+  const SimConfig sim = tiny_sim();
+  const Scheme scheme = Scheme::parse("2SC3");
+  const Workload& wl = table2_workloads().front();
+
+  ProgramLibrary lib_a(sim.machine);
+  const SimResult a = run_workload(scheme, wl, lib_a, sim);
+  ProgramLibrary lib_b(sim.machine);
+  const SimResult b = run_workload(scheme, wl, lib_b, sim);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, SharedAndFreshLibraryAgree) {
+  const SimConfig sim = tiny_sim();
+  const Scheme scheme = Scheme::parse("3CCC");
+  const Workload& wl = table2_workloads().back();
+
+  ProgramLibrary shared(sim.machine);
+  const SimResult first = run_workload(scheme, wl, shared, sim);
+  const SimResult again = run_workload(scheme, wl, shared, sim);
+  expect_identical(first, again);
+}
+
+std::vector<BatchJob> small_grid() {
+  const SimConfig sim = tiny_sim();
+  std::vector<BatchJob> jobs;
+  for (const char* name : {"1S", "3CCC", "3SSS"})
+    for (const Workload& w : table2_workloads())
+      jobs.push_back(make_job(Scheme::parse(name), w, sim));
+  return jobs;
+}
+
+TEST(BatchRunner, GridIdenticalAcrossWorkerCounts) {
+  const std::vector<BatchJob> jobs = small_grid();
+  const std::vector<SimResult> serial = run_batch(jobs, {.workers = 1});
+  for (unsigned workers : {2u, 5u, 16u}) {
+    const std::vector<SimResult> parallel =
+        run_batch(jobs, {.workers = workers});
+    ASSERT_EQ(parallel.size(), serial.size()) << workers << " workers";
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      expect_identical(serial[i], parallel[i]);
+  }
+}
+
+TEST(BatchRunner, MatchesDirectRunWorkload) {
+  const std::vector<BatchJob> jobs = small_grid();
+  const std::vector<SimResult> batch = run_batch(jobs, {.workers = 4});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ProgramLibrary lib(jobs[i].sim.machine);
+    Workload wl;
+    for (std::size_t t = 0; t < jobs[i].benchmarks.size(); ++t)
+      wl.benchmarks[t] = jobs[i].benchmarks[t];
+    expect_identical(batch[i],
+                     run_workload(jobs[i].scheme, wl, lib, jobs[i].sim));
+  }
+}
+
+TEST(BatchRunner, MixedMachineConfigsInOneBatch) {
+  const SimConfig small = tiny_sim();
+  SimConfig wide = tiny_sim();
+  wide.machine = MachineConfig::clustered(2, 8);
+  const Workload& wl = table2_workloads().front();
+  const std::vector<BatchJob> jobs = {
+      make_job(Scheme::parse("3CCC"), wl, small),
+      make_job(Scheme::parse("3CCC"), wl, wide),
+      make_job(Scheme::parse("3SSS"), wl, small),
+  };
+  const std::vector<SimResult> serial = run_batch(jobs, {.workers = 1});
+  const std::vector<SimResult> parallel = run_batch(jobs, {.workers = 3});
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    expect_identical(serial[i], parallel[i]);
+  // The two machines genuinely differ.
+  EXPECT_NE(serial[0].cycles, serial[1].cycles);
+}
+
+TEST(BatchRunner, GroupAveragesUnflattensSweepLayout) {
+  const std::vector<double> values = {1.0, 3.0, 2.0, 4.0, 10.0, 20.0};
+  const std::vector<double> avg = group_averages(values, 2);
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_EQ(avg[0], 2.0);
+  EXPECT_EQ(avg[1], 3.0);
+  EXPECT_EQ(avg[2], 15.0);
+  EXPECT_EQ(group_averages(values, 6).size(), 1u);
+  EXPECT_THROW(group_averages(values, 4), CheckError);  // partial group
+  EXPECT_THROW(group_averages(values, 0), CheckError);
+}
+
+TEST(BatchRunner, ResolveWorkersClampsToJobs) {
+  EXPECT_EQ(resolve_workers({.workers = 8}, 3), 3u);
+  EXPECT_EQ(resolve_workers({.workers = 2}, 100), 2u);
+  EXPECT_EQ(resolve_workers({.workers = 1}, 100), 1u);
+  EXPECT_GE(resolve_workers({.workers = 0}, 100), 1u);
+  EXPECT_EQ(resolve_workers({.workers = 8}, 0), 1u);  // empty batch: no pool
+}
+
+TEST(BatchRunner, EmptyBatchReturnsEmpty) {
+  EXPECT_TRUE(run_batch({}, {.workers = 4}).empty());
+}
+
+TEST(Experiments, Fig10IdenticalAcrossWorkerCounts) {
+  ExperimentConfig cfg;
+  cfg.sim = tiny_sim();
+  cfg.batch.workers = 1;
+  const Fig10Result serial = run_fig10(cfg);
+  cfg.batch.workers = 4;
+  const Fig10Result parallel = run_fig10(cfg);
+
+  EXPECT_EQ(serial.schemes, parallel.schemes);
+  EXPECT_EQ(serial.workloads, parallel.workloads);
+  ASSERT_EQ(serial.ipc.size(), parallel.ipc.size());
+  for (std::size_t w = 0; w < serial.ipc.size(); ++w)
+    EXPECT_EQ(serial.ipc[w], parallel.ipc[w]) << "workload row " << w;
+  EXPECT_EQ(serial.average, parallel.average);
+}
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,77 @@
+// Regression tests for validated environment parsing: malformed values
+// must fall back to the default instead of silently becoming 0 (the old
+// strtoull path turned CVMT_BUDGET=abc into a zero instruction budget).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/env.hpp"
+
+namespace cvmt {
+namespace {
+
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) { unsetenv(name_); }
+  ~EnvGuard() { unsetenv(name_); }
+  void set(const char* value) { setenv(name_, value, 1); }
+
+ private:
+  const char* name_;
+};
+
+constexpr const char* kVar = "CVMT_ENV_TEST_VAR";
+
+TEST(EnvU64, UnsetReturnsFallback) {
+  EnvGuard guard(kVar);
+  EXPECT_EQ(env_u64(kVar, 123), 123u);
+}
+
+TEST(EnvU64, EmptyReturnsFallback) {
+  EnvGuard guard(kVar);
+  guard.set("");
+  EXPECT_EQ(env_u64(kVar, 123), 123u);
+}
+
+TEST(EnvU64, ParsesValidValue) {
+  EnvGuard guard(kVar);
+  guard.set("400000");
+  EXPECT_EQ(env_u64(kVar, 123), 400000u);
+  guard.set("0");
+  EXPECT_EQ(env_u64(kVar, 123), 0u);
+  guard.set("18446744073709551615");  // UINT64_MAX
+  EXPECT_EQ(env_u64(kVar, 123), 18446744073709551615ull);
+}
+
+TEST(EnvU64, NonNumericFallsBack) {
+  EnvGuard guard(kVar);
+  guard.set("abc");
+  EXPECT_EQ(env_u64(kVar, 123), 123u);  // old code returned 0
+}
+
+TEST(EnvU64, TrailingGarbageFallsBack) {
+  EnvGuard guard(kVar);
+  guard.set("123abc");
+  EXPECT_EQ(env_u64(kVar, 7), 7u);  // old code truncated to 123
+  guard.set("50 000");
+  EXPECT_EQ(env_u64(kVar, 7), 7u);
+}
+
+TEST(EnvU64, SignsFallBack) {
+  EnvGuard guard(kVar);
+  guard.set("-5");  // strtoull would wrap to 2^64-5
+  EXPECT_EQ(env_u64(kVar, 7), 7u);
+  guard.set("+5");
+  EXPECT_EQ(env_u64(kVar, 7), 7u);
+  guard.set(" -5");
+  EXPECT_EQ(env_u64(kVar, 7), 7u);
+}
+
+TEST(EnvU64, OutOfRangeFallsBack) {
+  EnvGuard guard(kVar);
+  guard.set("99999999999999999999999999");
+  EXPECT_EQ(env_u64(kVar, 7), 7u);
+}
+
+}  // namespace
+}  // namespace cvmt

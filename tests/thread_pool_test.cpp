@@ -1,0 +1,113 @@
+// Unit tests for the fixed-size worker pool: submission, result and
+// exception plumbing through futures, drain-on-destruction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/thread_pool.hpp"
+
+namespace cvmt {
+namespace {
+
+TEST(ThreadPool, HardwareWorkersAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1u);
+}
+
+TEST(ThreadPool, ZeroRequestedWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, MoreTasksThanWorkersAllRun) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i)
+    futures.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 1; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing job.
+  EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, DestructorDiscardsQueuedTasks) {
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(1);
+    // Occupy the single worker long enough that destruction begins while
+    // the other 49 tasks are still queued.
+    futures.push_back(pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      return 0;
+    }));
+    for (int i = 1; i < 50; ++i)
+      futures.push_back(pool.submit([i] { return i; }));
+  }  // join: running tasks finish, still-queued ones are discarded
+  int completed = 0;
+  int discarded = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+      ++completed;
+    } catch (const std::future_error&) {
+      ++discarded;  // broken_promise from a discarded task
+    }
+  }
+  EXPECT_EQ(completed + discarded, 50);
+  EXPECT_GT(discarded, 0);
+}
+
+TEST(ThreadPool, AwaitedTasksAllRunBeforeDestruction) {
+  std::vector<std::future<int>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i)
+      futures.push_back(pool.submit([i] { return i; }));
+    for (auto& f : futures) f.wait();  // the run_batch usage pattern
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 50 * 49 / 2);
+}
+
+TEST(ThreadPool, ResultsIndependentOfWorkerCount) {
+  auto run = [](unsigned workers) {
+    ThreadPool pool(workers);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+      futures.push_back(pool.submit([i] { return 3 * i + 1; }));
+    std::vector<int> out;
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  };
+  const std::vector<int> one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+}  // namespace
+}  // namespace cvmt
