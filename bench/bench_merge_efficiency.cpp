@@ -11,6 +11,9 @@
 int main() {
   using namespace cvmt;
   ExperimentConfig cfg = ExperimentConfig::from_env();
+  // This diagnostic reads per-block reject rates and the issued histogram,
+  // so it needs full merge statistics regardless of CVMT_STATS.
+  cfg.sim.stats = StatsLevel::kFull;
   print_banner(std::cout, "Merge efficiency per scheme (workload LMHH)");
 
   ProgramLibrary lib(cfg.sim.machine);

@@ -6,6 +6,7 @@
 //   ./scheme_explorer 3SCC MMHH
 #include <iostream>
 
+#include "exp/report.hpp"
 #include "sim/simulation.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -65,14 +66,9 @@ int main(int argc, char** argv) {
   }
   threads.print(std::cout);
 
-  std::cout << "\nPer-merge-block reject rates (preorder over the scheme):\n";
-  TableWriter blocks({"Block", "Attempts", "Rejects", "Reject %"});
-  for (const auto& n : r.merge_nodes)
-    blocks.add_row({n.label,
-                    format_grouped(static_cast<long long>(n.attempts)),
-                    format_grouped(static_cast<long long>(n.rejects)),
-                    format_fixed(100.0 * n.reject_rate(), 1)});
-  blocks.print(std::cout);
+  std::cout << "\nPer-merge-block reject rates (preorder; each block "
+               "labelled by its canonical sub-scheme):\n";
+  render_merge_nodes(r.merge_nodes).print(std::cout);
 
   std::cout << "\nThreads issued per cycle:\n";
   for (std::size_t k = 0; k < r.issued_per_cycle.num_buckets(); ++k)

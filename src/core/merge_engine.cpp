@@ -1,37 +1,27 @@
 #include "core/merge_engine.hpp"
 
 #include <bit>
-#include <sstream>
 
 namespace cvmt {
-namespace {
-
-/// Preorder walk collecting one stats slot per merge block.
-void collect_nodes(const Scheme::Node& node,
-                   std::vector<MergeNodeStats>& out) {
-  if (node.is_leaf()) return;
-  std::ostringstream label;
-  label << to_char(node.kind) << (node.parallel ? "P" : "") << '/'
-        << node.children.size() << "in";
-  out.push_back({label.str(), node.kind, 0, 0});
-  for (const auto& child : node.children) collect_nodes(child, out);
-}
-
-}  // namespace
 
 MergeEngine::MergeEngine(Scheme scheme, MachineConfig config,
-                         PriorityPolicy policy)
+                         PriorityPolicy policy, StatsLevel stats_level,
+                         EvalMode eval_mode)
     : scheme_(std::move(scheme)),
       config_(config),
       policy_(policy),
+      stats_level_(stats_level),
+      eval_mode_(eval_mode),
+      plan_(scheme_, config),
       issued_histogram_(static_cast<std::size_t>(scheme_.num_threads()) + 1) {
   config_.validate();
-  collect_nodes(scheme_.root(), node_stats_);
+  scratch_ = plan_.make_scratch();
+  node_stats_ = plan_.make_stats();
 }
 
-MergeEngine::EvalResult MergeEngine::eval(
+MergeEngine::EvalResult MergeEngine::eval_tree(
     const Scheme::Node& node, std::span<const Footprint* const> candidates,
-    std::size_t& node_id) {
+    std::size_t& node_id, bool count_stats) {
   if (node.is_leaf()) {
     // Rotation maps priority port p to hardware thread (p + rotation) % N.
     const int n = scheme_.num_threads();
@@ -45,14 +35,14 @@ MergeEngine::EvalResult MergeEngine::eval(
   EvalResult acc;
   bool have_acc = false;
   for (const auto& child : node.children) {
-    EvalResult r = eval(child, candidates, node_id);
+    EvalResult r = eval_tree(child, candidates, node_id, count_stats);
     if (r.mask == 0) continue;  // nothing offered on this input
     if (!have_acc) {
       acc = r;  // highest-priority input seeds the packet unconditionally
       have_acc = true;
       continue;
     }
-    ++stats.attempts;
+    if (count_stats) ++stats.attempts;
     bool ok = false;
     switch (node.kind) {
       case MergeKind::kCsmt:
@@ -71,43 +61,50 @@ MergeEngine::EvalResult MergeEngine::eval(
     } else {
       // The whole input packet is dropped: if it was itself a merged group
       // (tree schemes), every thread in it stalls this cycle (§4.1).
-      ++stats.rejects;
+      if (count_stats) ++stats.rejects;
     }
   }
   return acc;
 }
 
-MergeDecision MergeEngine::select(
+MergeDecision MergeEngine::select_tree(
     std::span<const Footprint* const> candidates) {
   CVMT_CHECK_MSG(
       candidates.size() == static_cast<std::size_t>(scheme_.num_threads()),
       "candidate count must match scheme thread count");
   std::size_t node_id = 0;
-  const EvalResult r = eval(scheme_.root(), candidates, node_id);
+  const EvalResult r =
+      eval_tree(scheme_.root(), candidates, node_id,
+                stats_level_ == StatsLevel::kFull);
   CVMT_DCHECK(node_id == node_stats_.size());
-
   MergeDecision d;
   d.issued_mask = r.mask;
   d.packet = r.fp;
   d.num_issued = std::popcount(r.mask);
-  issued_histogram_.add(static_cast<std::size_t>(d.num_issued));
+  finish_cycle(d.num_issued, candidates);
+  return d;
+}
+
+void MergeEngine::finish_cycle(
+    int num_issued, std::span<const Footprint* const> candidates) {
+  if (stats_level_ == StatsLevel::kFull)
+    issued_histogram_.add(static_cast<std::size_t>(num_issued));
   ++cycles_;
+  // rotation_ is kept in [0, n) so the wrap is a compare, not a modulo.
+  const int n = scheme_.num_threads();
   switch (policy_) {
     case PriorityPolicy::kRoundRobin:
-      rotation_ = (rotation_ + 1) % scheme_.num_threads();
+      rotation_ = rotation_ + 1 == n ? 0 : rotation_ + 1;
       break;
-    case PriorityPolicy::kStickyOnStall: {
+    case PriorityPolicy::kStickyOnStall:
       // Keep the current leader while it offers instructions; hand the
       // lead to the next thread once it stalls (BMT's switch-on-event).
-      const int leader = rotation_ % scheme_.num_threads();
-      if (candidates[static_cast<std::size_t>(leader)] == nullptr)
-        rotation_ = (rotation_ + 1) % scheme_.num_threads();
+      if (candidates[static_cast<std::size_t>(rotation_)] == nullptr)
+        rotation_ = rotation_ + 1 == n ? 0 : rotation_ + 1;
       break;
-    }
     case PriorityPolicy::kFixed:
       break;
   }
-  return d;
 }
 
 }  // namespace cvmt

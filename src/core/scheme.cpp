@@ -301,9 +301,11 @@ int Scheme::count_blocks(MergeKind kind) const {
   return count_blocks_rec(root_, kind);
 }
 
-std::string Scheme::canonical() const {
+std::string Scheme::canonical() const { return canonical(root_); }
+
+std::string Scheme::canonical(const Node& node) {
   std::ostringstream os;
-  canonical_rec(root_, os);
+  canonical_rec(node, os);
   return os.str();
 }
 

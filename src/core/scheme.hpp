@@ -104,6 +104,10 @@ class Scheme {
   /// Canonical functional rendering, e.g. "C(C(S(0,1),2),3)".
   [[nodiscard]] std::string canonical() const;
 
+  /// Canonical rendering of an arbitrary (sub-)tree, e.g. "S(0,1)" for the
+  /// innermost block of 3SCC. Used for per-merge-block stat labels.
+  [[nodiscard]] static std::string canonical(const Node& node);
+
  private:
   std::string name_;
   Node root_;

@@ -1,6 +1,7 @@
 #include "exp/experiments.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "support/check.hpp"
@@ -22,6 +23,19 @@ ExperimentConfig ExperimentConfig::from_env() {
       std::numeric_limits<unsigned>::max();
   cfg.batch.workers = static_cast<unsigned>(
       std::min(env_u64("CVMT_WORKERS", 0), kMaxWorkers));
+  // The paper sweeps only consume IPC, so merge-stat accounting defaults
+  // off here (library SimConfig default stays kFull). Runners that read
+  // node stats (e.g. bench_merge_efficiency) force kFull on their copy.
+  cfg.sim.stats = StatsLevel::kFast;
+  const std::string stats = env_word("CVMT_STATS", "fast");
+  if (stats == "full") {
+    cfg.sim.stats = StatsLevel::kFull;
+  } else if (stats != "fast") {
+    std::fprintf(stderr,
+                 "cvmt: ignoring CVMT_STATS=\"%s\" (expected full or "
+                 "fast); using fast\n",
+                 stats.c_str());
+  }
   return cfg;
 }
 

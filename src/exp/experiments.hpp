@@ -1,7 +1,7 @@
 // Experiment runners — one per table/figure of the paper's evaluation.
 // Shared by the bench binaries (which print the rows) and the integration
-// tests (which assert the headline relations). See DESIGN.md §4 for the
-// experiment index.
+// tests (which assert the headline relations). Each bench_* binary in
+// bench/ is the printable form of one runner here.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +27,9 @@ struct ExperimentConfig {
   ///   CVMT_TIMESLICE timeslice cycles
   ///   CVMT_FAST=1    small budgets for smoke tests
   ///   CVMT_WORKERS   batch-runner worker threads (default: all cores)
+  ///   CVMT_STATS     full|fast merge statistics (default: fast — the
+  ///                  experiment sweeps are pure-IPC; runners that *read*
+  ///                  merge-node stats force kFull themselves)
   [[nodiscard]] static ExperimentConfig from_env();
 };
 

@@ -93,6 +93,16 @@ TableWriter render_pareto(const std::vector<ParetoPoint>& points) {
   return t;
 }
 
+TableWriter render_merge_nodes(const std::vector<MergeNodeStats>& nodes) {
+  TableWriter t({"Sub-scheme", "Kind", "Attempts", "Rejects", "Reject %"});
+  for (const auto& n : nodes)
+    t.add_row({n.label, std::string(1, to_char(n.kind)),
+               format_grouped(static_cast<long long>(n.attempts)),
+               format_grouped(static_cast<long long>(n.rejects)),
+               fx(100.0 * n.reject_rate(), 1)});
+  return t;
+}
+
 void print_headlines(std::ostream& os, const HeadlineRelations& h) {
   os << "2SC3 vs 4-thread CSMT (3CCC): " << fx(h.sc3_vs_csmt_pct, 1)
      << "% (paper: +14%)\n"

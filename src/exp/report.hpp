@@ -35,6 +35,12 @@ namespace cvmt {
 [[nodiscard]] TableWriter render_pareto(
     const std::vector<ParetoPoint>& points);
 
+/// Per-merge-block attempt/reject statistics, one row per block in
+/// preorder, labelled with the block's canonical sub-scheme (e.g.
+/// "S(0,1)"). Requires a StatsLevel::kFull run to carry counts.
+[[nodiscard]] TableWriter render_merge_nodes(
+    const std::vector<MergeNodeStats>& nodes);
+
 /// Prints the conclusion's headline percentages.
 void print_headlines(std::ostream& os, const HeadlineRelations& h);
 

@@ -24,36 +24,6 @@ Footprint Footprint::of(const Instruction& instr,
   return fp;
 }
 
-bool Footprint::smt_compatible(const Footprint& a, const Footprint& b,
-                               const MachineConfig& config) {
-  // Only clusters used by both packets can conflict.
-  std::uint32_t shared = a.cluster_mask_ & b.cluster_mask_;
-  while (shared != 0) {
-    const int c = std::countr_zero(shared);
-    shared &= shared - 1;
-    const ClusterUse& ua = a.use_[static_cast<std::size_t>(c)];
-    const ClusterUse& ub = b.use_[static_cast<std::size_t>(c)];
-    if ((ua.fixed_mask & ub.fixed_mask) != 0) return false;
-    if (ua.op_count + ub.op_count > config.issue_per_cluster) return false;
-  }
-  return true;
-}
-
-void Footprint::merge_with(const Footprint& b, const MachineConfig& config) {
-  CVMT_DCHECK(smt_compatible(*this, b, config));
-  std::uint32_t mask = b.cluster_mask_;
-  while (mask != 0) {
-    const int c = std::countr_zero(mask);
-    mask &= mask - 1;
-    ClusterUse& ua = use_[static_cast<std::size_t>(c)];
-    const ClusterUse& ub = b.use_[static_cast<std::size_t>(c)];
-    ua.fixed_mask = static_cast<std::uint8_t>(ua.fixed_mask | ub.fixed_mask);
-    ua.op_count = static_cast<std::uint8_t>(ua.op_count + ub.op_count);
-  }
-  cluster_mask_ |= b.cluster_mask_;
-  total_ops_ += b.total_ops_;
-}
-
 Instruction route_merge(const Instruction& a, const Instruction& b,
                         const MachineConfig& config) {
   const Footprint fa = Footprint::of(a, config);

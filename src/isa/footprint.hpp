@@ -13,10 +13,12 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 #include "isa/instruction.hpp"
 #include "isa/machine_config.hpp"
+#include "support/check.hpp"
 
 namespace cvmt {
 
@@ -56,13 +58,17 @@ class Footprint {
   }
 
   /// SMT check: per-cluster fixed-slot disjointness + issue-width fit.
+  /// Implemented as byte-lane SWAR over the packed ClusterUse array (all
+  /// clusters checked at once; unused clusters are vacuously compatible,
+  /// so the result equals the per-shared-cluster walk). Hot: called for
+  /// every SMT merge attempt of every simulated cycle.
   [[nodiscard]] static bool smt_compatible(const Footprint& a,
                                            const Footprint& b,
                                            const MachineConfig& config);
 
-  /// In-place union. Caller must have established compatibility under the
-  /// merge kind in use; checked in debug builds for the SMT (weaker)
-  /// predicate.
+  /// In-place union (SWAR: OR the fixed-mask lanes, add the count lanes).
+  /// Caller must have established compatibility under the merge kind in
+  /// use; checked in debug builds for the SMT (weaker) predicate.
   void merge_with(const Footprint& b, const MachineConfig& config);
 
   friend bool operator==(const Footprint& a, const Footprint& b) {
@@ -71,10 +77,55 @@ class Footprint {
   }
 
  private:
+  /// Byte-lane view of use_: even bytes are fixed masks, odd bytes are op
+  /// counts (ClusterUse layout, asserted below).
+  using Lanes = std::array<std::uint64_t, kMaxClusters * 2 / 8>;
+  static constexpr std::uint64_t kFixedLanes = 0x00FF00FF00FF00FFULL;
+  static constexpr std::uint64_t kCountLanes = 0xFF00FF00FF00FF00ULL;
+  /// 0x80 bit of every count lane (overflow detector of the SWAR compare).
+  static constexpr std::uint64_t kCountHighBits = 0x8000800080008000ULL;
+
   std::array<ClusterUse, kMaxClusters> use_{};
   std::uint32_t cluster_mask_ = 0;
   int total_ops_ = 0;
 };
+
+static_assert(sizeof(ClusterUse) == 2 && kMaxClusters % 4 == 0,
+              "SWAR predicates assume 2-byte ClusterUse lanes");
+static_assert(std::endian::native == std::endian::little,
+              "SWAR lane masks assume little-endian byte order (fixed "
+              "masks in even bytes, op counts in odd bytes)");
+
+inline bool Footprint::smt_compatible(const Footprint& a, const Footprint& b,
+                                      const MachineConfig& config) {
+  const auto la = std::bit_cast<Lanes>(a.use_);
+  const auto lb = std::bit_cast<Lanes>(b.use_);
+  // Per count byte: sum + (127 - width) has bit 7 set iff sum > width.
+  // Counts are at most 2 * issue width <= 16, so lanes never carry.
+  const std::uint64_t adjust =
+      (127ull - static_cast<std::uint64_t>(config.issue_per_cluster)) *
+      0x0100010001000100ULL;
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    if ((la[i] & lb[i] & kFixedLanes) != 0) return false;  // slot collision
+    const std::uint64_t sums =
+        (la[i] & kCountLanes) + (lb[i] & kCountLanes);
+    if (((sums + adjust) & kCountHighBits) != 0) return false;  // overflow
+  }
+  return true;
+}
+
+inline void Footprint::merge_with(const Footprint& b,
+                                  const MachineConfig& config) {
+  CVMT_DCHECK(smt_compatible(*this, b, config));
+  auto la = std::bit_cast<Lanes>(use_);
+  const auto lb = std::bit_cast<Lanes>(b.use_);
+  for (std::size_t i = 0; i < la.size(); ++i)
+    la[i] = ((la[i] & kCountLanes) + (lb[i] & kCountLanes)) |
+            ((la[i] | lb[i]) & kFixedLanes);
+  use_ = std::bit_cast<std::array<ClusterUse, kMaxClusters>>(la);
+  cluster_mask_ |= b.cluster_mask_;
+  total_ops_ += b.total_ops_;
+}
 
 /// Materialises the SMT-merged execution packet: fixed ops keep their slots,
 /// ALU ops of both packets are routed to free slots of their cluster

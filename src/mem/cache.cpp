@@ -20,14 +20,17 @@ SetAssocCache::SetAssocCache(const CacheConfig& config)
     : config_(config), num_sets_(config.num_sets()) {
   config_.validate();
   lines_.resize(num_sets_ * config_.ways);
+  line_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(config_.line_bytes)));
+  set_shift_ = static_cast<std::uint32_t>(std::countr_zero(num_sets_));
 }
 
 std::uint64_t SetAssocCache::set_index(std::uint64_t addr) const {
-  return (addr / config_.line_bytes) & (num_sets_ - 1);
+  return (addr >> line_shift_) & (num_sets_ - 1);
 }
 
 std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
-  return (addr / config_.line_bytes) / num_sets_;
+  return (addr >> line_shift_) >> set_shift_;
 }
 
 bool SetAssocCache::access(std::uint64_t addr) {
@@ -36,7 +39,8 @@ bool SetAssocCache::access(std::uint64_t addr) {
   Line* base = &lines_[set * config_.ways];
   ++clock_;
 
-  Line* victim = base;
+  // Hit path first (the common case): a tight tag scan with no
+  // replacement bookkeeping. Only a miss pays for the victim search.
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
     Line& line = base[w];
     if (line.valid && line.tag == tag) {
@@ -44,12 +48,14 @@ bool SetAssocCache::access(std::uint64_t addr) {
       stats_.record(true);
       return true;
     }
-    // Prefer an invalid way; otherwise the least recently used one.
-    if (!line.valid) {
-      if (victim->valid) victim = &line;
-    } else if (victim->valid && line.last_used < victim->last_used) {
-      victim = &line;
-    }
+  }
+
+  // Prefer an invalid way; otherwise the least recently used one.
+  Line* victim = base;
+  for (std::uint32_t w = 1; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (!victim->valid) break;
+    if (!line.valid || line.last_used < victim->last_used) victim = &line;
   }
   victim->valid = true;
   victim->tag = tag;

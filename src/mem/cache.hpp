@@ -61,6 +61,10 @@ class SetAssocCache {
 
   CacheConfig config_;
   std::uint64_t num_sets_;
+  /// line_bytes and num_sets are validated powers of two; shifting beats
+  /// the two 64-bit divisions that used to sit in every lookup.
+  std::uint32_t line_shift_ = 0;
+  std::uint32_t set_shift_ = 0;
   std::vector<Line> lines_;  // num_sets_ x ways, row-major
   std::uint64_t clock_ = 0;
   RatioCounter stats_;

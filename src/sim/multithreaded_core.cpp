@@ -1,5 +1,6 @@
 #include "sim/multithreaded_core.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace cvmt {
@@ -7,48 +8,125 @@ namespace cvmt {
 MultithreadedCore::MultithreadedCore(const MachineConfig& machine,
                                      Scheme scheme, PriorityPolicy priority,
                                      MemorySystem& mem,
-                                     MissPolicy miss_policy)
+                                     MissPolicy miss_policy,
+                                     CoreOptions options)
     : machine_(machine),
-      engine_(std::move(scheme), machine, priority),
+      engine_(std::move(scheme), machine, priority, options.stats,
+              options.eval_mode),
       mem_(mem),
-      miss_policy_(miss_policy) {}
+      miss_policy_(miss_policy),
+      options_(options) {}
 
 void MultithreadedCore::set_thread(int slot, ThreadContext* thread) {
   CVMT_CHECK(slot >= 0 && slot < num_slots());
   slots_[static_cast<std::size_t>(slot)] = thread;
 }
 
-bool MultithreadedCore::step(std::uint64_t cycle) {
+std::uint64_t MultithreadedCore::run_until(std::uint64_t cycle,
+                                           std::uint64_t end,
+                                           bool& any_done) {
+  any_done = false;
   const int n = num_slots();
-  std::array<const Footprint*, kMaxThreads> offers{};
-  bool any_offer = false;
+  constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  // Per-slot cached issue state, so the per-cycle gather is one compare
+  // per slot instead of re-polling the thread contexts: `ready[s]` is the
+  // first cycle slot s can issue (kNever = empty slot, finished thread,
+  // or refill pending) and `fps[s]` its candidate footprint. Threads only
+  // change state inside this loop — refill (tracked by `refill_mask`) and
+  // consume — so the cache cannot go stale. Slots cannot change
+  // mid-window (the OS reschedules only at window boundaries).
+  std::array<const Footprint*, kMaxThreads> fps;
+  std::array<std::uint64_t, kMaxThreads> ready;
+  std::array<const Footprint*, kMaxThreads> offers;
+  std::uint32_t refill_mask = 0;
   for (int s = 0; s < n; ++s) {
     ThreadContext* t = slots_[static_cast<std::size_t>(s)];
-    offers[static_cast<std::size_t>(s)] =
-        t ? t->offer(cycle, mem_, s) : nullptr;
-    any_offer |= offers[static_cast<std::size_t>(s)] != nullptr;
-  }
-
-  bool any_done = false;
-  if (any_offer) {
-    const MergeDecision d = engine_.select(
-        std::span<const Footprint* const>(offers.data(),
-                                          static_cast<std::size_t>(n)));
-    std::uint32_t mask = d.issued_mask;
-    while (mask != 0) {
-      const int s = std::countr_zero(mask);
-      mask &= mask - 1;
-      ThreadContext* t = slots_[static_cast<std::size_t>(s)];
-      const std::uint64_t ops_before = t->stats().ops;
-      t->consume(cycle, mem_, s, machine_, miss_policy_);
-      stats_.total_ops += t->stats().ops - ops_before;
-      ++stats_.total_instructions;
-      any_done |= t->done();
+    fps[static_cast<std::size_t>(s)] = nullptr;
+    ready[static_cast<std::size_t>(s)] = kNever;
+    if (t == nullptr || t->done()) continue;
+    if (t->has_pending()) {
+      fps[static_cast<std::size_t>(s)] = t->pending_footprint();
+      ready[static_cast<std::size_t>(s)] = t->ready_at();
+    } else {
+      refill_mask |= 1u << static_cast<unsigned>(s);
     }
-  } else {
-    ++stats_.idle_cycles;
   }
-  ++stats_.cycles;
+  const std::span<const Footprint* const> cand_span(
+      offers.data(), static_cast<std::size_t>(n));
+
+  while (cycle < end) {
+    // Fetch for threads that issued last cycle — same slot order and
+    // cycle number as the lazy offer() path, so shared-ICache state
+    // evolves identically.
+    while (refill_mask != 0) {
+      const int s = std::countr_zero(refill_mask);
+      refill_mask &= refill_mask - 1;
+      ThreadContext* t = slots_[static_cast<std::size_t>(s)];
+      t->refill(cycle, mem_, s);
+      fps[static_cast<std::size_t>(s)] = t->pending_footprint();
+      ready[static_cast<std::size_t>(s)] = t->ready_at();
+    }
+
+    int num_offers = 0;
+    int only_offer = -1;
+    for (int s = 0; s < n; ++s) {
+      const Footprint* fp = cycle >= ready[static_cast<std::size_t>(s)]
+                                ? fps[static_cast<std::size_t>(s)]
+                                : nullptr;
+      offers[static_cast<std::size_t>(s)] = fp;
+      if (fp != nullptr) {
+        ++num_offers;
+        only_offer = s;
+      }
+    }
+
+    if (num_offers != 0) {
+      std::uint32_t mask =
+          engine_.select_mask_gathered(cand_span, num_offers, only_offer);
+      while (mask != 0) {
+        const int s = std::countr_zero(mask);
+        mask &= mask - 1;
+        ThreadContext* t = slots_[static_cast<std::size_t>(s)];
+        const std::uint64_t ops_before = t->stats().ops;
+        t->consume(cycle, mem_, s, machine_, miss_policy_);
+        stats_.total_ops += t->stats().ops - ops_before;
+        ++stats_.total_instructions;
+        any_done |= t->done();
+        ready[static_cast<std::size_t>(s)] = kNever;
+        if (!t->done()) refill_mask |= 1u << static_cast<unsigned>(s);
+      }
+      ++stats_.cycles;
+      ++cycle;
+      if (any_done) return cycle;
+      continue;
+    }
+
+    // All-stalled window: every resident thread already holds a fetched
+    // instruction with ready[s] > cycle, so nothing can change before the
+    // earliest one. Jump there in one step, bulk-accounting the skipped
+    // cycles as idle. The merge network is never consulted on a
+    // candidate-less cycle, so rotation and every merge statistic are
+    // untouched — exactly as when stepping.
+    std::uint64_t next = end;
+    if (options_.stall_fast_forward) {
+      for (int s = 0; s < n; ++s)
+        next = std::min(next, ready[static_cast<std::size_t>(s)]);
+      // All slots empty (or every resident thread done): idle to `end`.
+      next = std::max(next, cycle + 1);
+    } else {
+      next = cycle + 1;
+    }
+    stats_.idle_cycles += next - cycle;
+    stats_.cycles += next - cycle;
+    cycle = next;
+  }
+  return cycle;
+}
+
+bool MultithreadedCore::step(std::uint64_t cycle) {
+  bool any_done = false;
+  run_until(cycle, cycle + 1, any_done);
   return any_done;
 }
 

@@ -42,13 +42,18 @@ void OsScheduler::reschedule(MultithreadedCore& core) {
 
 std::uint64_t OsScheduler::run(MultithreadedCore& core,
                                std::uint64_t max_cycles) {
+  // One timeslice per iteration: reschedule at the slice boundary, then
+  // hand the whole window to the core. The core fast-forwards all-stalled
+  // stretches inside the window; clamping the window at the boundary
+  // guarantees a jump never skips a reschedule point.
   std::uint64_t cycle = 0;
-  for (; cycle < max_cycles; ++cycle) {
+  while (cycle < max_cycles) {
     if (cycle % timeslice_ == 0) reschedule(core);
-    if (core.step(cycle)) {
-      ++cycle;  // count the finishing cycle
-      break;
-    }
+    const std::uint64_t slice_end =
+        std::min(max_cycles, cycle - cycle % timeslice_ + timeslice_);
+    bool any_done = false;
+    cycle = core.run_until(cycle, slice_end, any_done);
+    if (any_done) break;  // the finishing cycle is already counted
   }
   return cycle;
 }

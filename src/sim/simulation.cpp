@@ -10,8 +10,10 @@ SimResult run_simulation(
   config.machine.validate();
 
   MemorySystem mem(config.mem, scheme.num_threads());
+  const CoreOptions core_options{config.stats, config.eval_mode,
+                                 config.stall_fast_forward};
   MultithreadedCore core(config.machine, scheme, config.priority, mem,
-                         config.miss_policy);
+                         config.miss_policy, core_options);
 
   std::vector<std::shared_ptr<ThreadContext>> threads;
   threads.reserve(programs.size());

@@ -29,6 +29,17 @@ struct SimConfig {
   std::uint64_t max_cycles = 1ULL << 40;       ///< hard safety stop
   std::uint64_t os_seed = 0xC0FFEE;
   std::uint64_t stream_seed_base = 7;  ///< per-thread trace stream seeds
+  /// Merge-statistics accounting. kFull populates SimResult's merge_nodes
+  /// counters and issued_per_cycle histogram; kFast skips those writes on
+  /// the hot path (labels stay, counters read zero) — every other result
+  /// field is bit-identical between the two levels.
+  StatsLevel stats = StatsLevel::kFull;
+  /// Merge evaluator. kTreeReference is the pre-plan recursive walk, kept
+  /// for golden bit-identity tests and baseline benchmarking.
+  EvalMode eval_mode = EvalMode::kPlan;
+  /// Jump the cycle counter over all-stalled windows (bit-identical to
+  /// stepping them; off only for baseline benchmarking).
+  bool stall_fast_forward = true;
 };
 
 /// Per-software-thread outcome.

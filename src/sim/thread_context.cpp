@@ -14,24 +14,22 @@ ThreadContext::ThreadContext(std::string name,
   CVMT_CHECK(budget_ >= 1);
 }
 
-const Footprint* ThreadContext::offer(std::uint64_t cycle, MemorySystem& mem,
-                                      int hw_tid) {
-  if (done_) return nullptr;
-  if (!has_pending_) {
-    pending_ = gen_.next();
-    pending_fp_ = gen_.current_footprint();
-    has_pending_ = true;
-    // Fetch starts once the previous instruction's stalls resolve; an
-    // ICache miss then delays issue further.
-    const MemAccessResult fetch = mem.fetch(hw_tid, pending_.pc());
-    if (!fetch.hit) {
-      ready_at_ = std::max(ready_at_, cycle) +
-                  static_cast<std::uint64_t>(fetch.penalty_cycles);
-      stats_.icache_stall_cycles +=
-          static_cast<std::uint64_t>(fetch.penalty_cycles);
-    }
+void ThreadContext::refill(std::uint64_t cycle, MemorySystem& mem,
+                           int hw_tid) {
+  gen_.advance();
+  pending_ = &gen_.current_instruction();
+  pending_fp_ = &gen_.current_footprint();
+  pending_patches_ = &gen_.current_patches();
+  has_pending_ = true;
+  // Fetch starts once the previous instruction's stalls resolve; an
+  // ICache miss then delays issue further.
+  const MemAccessResult fetch = mem.fetch(hw_tid, gen_.current_pc());
+  if (!fetch.hit) {
+    ready_at_ = std::max(ready_at_, cycle) +
+                static_cast<std::uint64_t>(fetch.penalty_cycles);
+    stats_.icache_stall_cycles +=
+        static_cast<std::uint64_t>(fetch.penalty_cycles);
   }
-  return cycle >= ready_at_ ? &pending_fp_ : nullptr;
 }
 
 void ThreadContext::consume(std::uint64_t cycle, MemorySystem& mem,
@@ -41,20 +39,23 @@ void ThreadContext::consume(std::uint64_t cycle, MemorySystem& mem,
                  "consume without a ready offer");
   // Account the issued instruction.
   ++stats_.instructions;
-  stats_.ops += pending_.op_count();
-  if (pending_.empty()) ++stats_.bubbles;
+  stats_.ops += pending_->op_count();
+  if (pending_->empty()) ++stats_.bubbles;
 
-  // Execution stalls: taken-branch squash plus DCache misses.
+  // Execution stalls: taken-branch squash plus DCache misses. Only the
+  // patched (memory/branch) ops are timing-relevant; the precomputed
+  // patch list visits exactly those, in op order.
   std::uint64_t stall = 1;
   int dmiss_total = 0;
   int dmiss_max = 0;
   bool taken = false;
-  for (const Operation& op : pending_) {
+  for (const std::uint8_t idx : *pending_patches_) {
+    const Operation& op = pending_->op(idx);
     if (is_memory(op.kind)) {
       const MemAccessResult r = mem.data_access(hw_tid, op.addr);
       dmiss_total += r.penalty_cycles;
       dmiss_max = std::max(dmiss_max, r.penalty_cycles);
-    } else if (op.kind == OpKind::kBranch && op.taken) {
+    } else if (op.taken) {  // patch lists hold only memory and branch ops
       taken = true;
     }
   }

@@ -42,19 +42,54 @@ class ThreadContext {
                 std::uint64_t stream_seed,
                 std::uint64_t instruction_budget);
 
+  // Not copyable: the pending-instruction pointers alias this object's
+  // own generator scratch, so a copy would silently track the source's
+  // mutable state (and dangle past its lifetime). Contexts are shared by
+  // pointer (see OsScheduler), never by value.
+  ThreadContext(const ThreadContext&) = delete;
+  ThreadContext& operator=(const ThreadContext&) = delete;
+
   /// Offers this thread's next instruction for merging at `cycle`.
   /// Fetches (and charges ICache penalties) lazily; returns nullptr while
   /// the thread is stalled or has completed its budget. `hw_tid` routes
-  /// cache accesses when caches are private.
-  const Footprint* offer(std::uint64_t cycle, MemorySystem& mem, int hw_tid);
+  /// cache accesses when caches are private. Inline: the overwhelmingly
+  /// common case (an instruction already fetched, still stalled or ready)
+  /// is two compares; the fetch lives out of line in refill().
+  const Footprint* offer(std::uint64_t cycle, MemorySystem& mem,
+                         int hw_tid) {
+    if (done_) return nullptr;
+    if (!has_pending_) refill(cycle, mem, hw_tid);
+    return cycle >= ready_at_ ? pending_fp_ : nullptr;
+  }
 
   /// Issues the previously offered instruction: accounts statistics,
   /// performs DCache accesses and computes the next-issue stall.
   void consume(std::uint64_t cycle, MemorySystem& mem, int hw_tid,
                const MachineConfig& machine, MissPolicy policy);
 
+  /// Generates the next instruction and charges the ICache fetch at
+  /// `cycle`. Exposed so the cycle loop can cache (ready_at, footprint)
+  /// per slot and refill exactly once per issued instruction instead of
+  /// re-polling offer() every cycle; offer() calls it lazily for all
+  /// other callers. Precondition: !done() and !has_pending().
+  void refill(std::uint64_t cycle, MemorySystem& mem, int hw_tid);
+
+  /// Footprint of the pending instruction (valid while has_pending()).
+  [[nodiscard]] const Footprint* pending_footprint() const {
+    return pending_fp_;
+  }
+
   /// True once `instruction_budget` instructions have issued.
   [[nodiscard]] bool done() const { return done_; }
+
+  /// True while a fetched instruction is waiting to issue (offer() has been
+  /// called since the last consume()).
+  [[nodiscard]] bool has_pending() const { return has_pending_; }
+
+  /// First cycle at which the pending instruction can issue. Meaningful
+  /// only while has_pending(); the stall fast-forward uses it to jump over
+  /// all-stalled windows without stepping them cycle by cycle.
+  [[nodiscard]] std::uint64_t ready_at() const { return ready_at_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const ThreadStats& stats() const { return stats_; }
@@ -67,10 +102,12 @@ class ThreadContext {
 
   bool has_pending_ = false;
   bool done_ = false;
-  Footprint pending_fp_;
-  /// Copy of the pending instruction (the generator's scratch is
-  /// invalidated by the prefetch inside consume()).
-  Instruction pending_;
+  /// Pending instruction state: pointers into our own generator (its
+  /// scratch stays untouched between refill() and consume()) and into the
+  /// shared immutable program (footprint, patch list).
+  const Footprint* pending_fp_ = nullptr;
+  const Instruction* pending_ = nullptr;
+  const SyntheticProgram::PatchList* pending_patches_ = nullptr;
   std::uint64_t ready_at_ = 0;
 
   ThreadStats stats_;

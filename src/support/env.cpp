@@ -32,4 +32,13 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return static_cast<std::uint64_t>(parsed);
 }
 
+std::string env_word(const char* name, std::string_view fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::string(fallback);
+  std::string word(v);
+  for (char& c : word)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return word;
+}
+
 }  // namespace cvmt

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 namespace cvmt {
 
@@ -13,5 +15,11 @@ namespace cvmt {
 /// garbage, a sign, out of range) is rejected: a warning naming the
 /// variable is printed to stderr and `fallback` is returned.
 [[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Reads the environment variable `name` as a lower-cased word. Returns
+/// `fallback` when unset or empty. Used for enum-valued knobs such as
+/// CVMT_STATS=full|fast (the caller validates the word and warns).
+[[nodiscard]] std::string env_word(const char* name,
+                                   std::string_view fallback);
 
 }  // namespace cvmt

@@ -34,6 +34,19 @@ class InlineVec {
     for (const T& v : init) push_back(v);
   }
 
+  // Copying moves only the occupied prefix, not the whole inline array: a
+  // VLIW packet rarely fills all kMaxTotalOps slots, and the defaulted
+  // member-wise copy (the full std::array) dominated the trace-generation
+  // profile.
+  constexpr InlineVec(const InlineVec& other) : size_(other.size_) {
+    std::copy(other.begin(), other.end(), data_.data());
+  }
+  constexpr InlineVec& operator=(const InlineVec& other) {
+    size_ = other.size_;
+    std::copy(other.begin(), other.end(), data_.data());
+    return *this;
+  }
+
   [[nodiscard]] constexpr std::size_t size() const { return size_; }
   [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
   [[nodiscard]] static constexpr std::size_t capacity() { return Capacity; }
@@ -86,7 +99,10 @@ class InlineVec {
   }
 
  private:
-  std::array<T, Capacity> data_{};
+  /// Intentionally default-initialized: only the [0, size_) prefix is ever
+  /// read or copied, and zeroing the full array on construction shows up
+  /// in the simulator's hot loop.
+  std::array<T, Capacity> data_;
   std::size_t size_ = 0;
 };
 

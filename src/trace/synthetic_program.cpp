@@ -50,6 +50,18 @@ bool place_op(Instruction& instr, std::uint32_t occupied[kMaxClusters],
   return false;
 }
 
+/// Ops the trace generator must patch at emission: memory (address) and
+/// branch (direction), in op order.
+SyntheticProgram::PatchList patch_list_of(const Instruction& instr) {
+  SyntheticProgram::PatchList patches;
+  for (std::size_t i = 0; i < instr.op_count(); ++i) {
+    const OpKind kind = instr.op(i).kind;
+    if (is_memory(kind) || kind == OpKind::kBranch)
+      patches.push_back(static_cast<std::uint8_t>(i));
+  }
+  return patches;
+}
+
 }  // namespace
 
 SyntheticProgram::SyntheticProgram(BenchmarkProfile profile,
@@ -145,6 +157,7 @@ SyntheticProgram::SyntheticProgram(BenchmarkProfile profile,
                           static_cast<std::uint64_t>(i) *
                               profile_.code_bytes_per_instr);
       loop.footprints.push_back(Footprint::of(loop.body[i], machine_));
+      loop.patch_ops.push_back(patch_list_of(loop.body[i]));
     }
 
     // --- Timing bookkeeping and the IPCr miss mix ---------------------
@@ -191,6 +204,7 @@ SyntheticProgram::SyntheticProgram(BenchmarkProfile profile,
                    "miss fraction out of range");
     CVMT_CHECK_MSG(loop.hot_window >= 1, "hot window must be non-empty");
     loop.footprints.clear();
+    loop.patch_ops.clear();
     loop.real_instrs = 0;
     loop.total_ops = 0;
     loop.mem_ops = 0;
@@ -200,6 +214,7 @@ SyntheticProgram::SyntheticProgram(BenchmarkProfile profile,
       const std::string err = instr.validate(machine_);
       CVMT_CHECK_MSG(err.empty(), "invalid instruction in loop: " + err);
       loop.footprints.push_back(Footprint::of(instr, machine_));
+      loop.patch_ops.push_back(patch_list_of(instr));
       if (!instr.empty()) ++loop.real_instrs;
       loop.total_ops += static_cast<std::int64_t>(instr.op_count());
       bool has_branch = false;

@@ -30,10 +30,17 @@ namespace cvmt {
 /// shared_ptr (it is read-only after construction).
 class SyntheticProgram {
  public:
+  /// Per body instruction: indices of the operations patched at emission
+  /// time (memory ops get addresses, branches get directions), in op
+  /// order. Precomputed so the emission and issue hot paths touch only
+  /// these instead of scanning every operation.
+  using PatchList = InlineVec<std::uint8_t, kMaxTotalOps>;
+
   /// One scheduled loop.
   struct Loop {
     std::vector<Instruction> body;      ///< templates; empty = bubble
     std::vector<Footprint> footprints;  ///< cached per body instruction
+    std::vector<PatchList> patch_ops;   ///< cached per body instruction
     std::uint64_t code_base = 0;  ///< PC of body[0]
     std::uint64_t hot_base = 0;   ///< cache-resident data region base
     std::uint64_t hot_window = 0;

@@ -21,6 +21,10 @@ TraceGenerator::TraceGenerator(
   const std::size_t n = program_->loops().size();
   hot_cursor_.assign(n, 0);
   cold_cursor_.assign(n, 0);
+  hot_stride_mod_.resize(n);
+  for (std::size_t l = 0; l < n; ++l)
+    hot_stride_mod_[l] =
+        program_->profile().hot_stride % program_->loops()[l].hot_window;
   enter_next_loop();
 }
 
@@ -31,32 +35,44 @@ void TraceGenerator::enter_next_loop() {
   body_pos_ = 0;
 }
 
-const Instruction& TraceGenerator::next() {
+void TraceGenerator::advance() {
   const SyntheticProgram::Loop& loop = program_->loops()[loop_idx_];
 
-  scratch_ = loop.body[body_pos_];
-  scratch_fp_ = loop.footprints[body_pos_];
-  scratch_.set_pc(scratch_.pc() + address_salt_);
+  cur_tmpl_ = &loop.body[body_pos_];
+  cur_fp_ = &loop.footprints[body_pos_];
+  cur_patches_ = &loop.patch_ops[body_pos_];
+  cur_pc_ = cur_tmpl_->pc() + address_salt_;
+  cur_is_scratch_ = !cur_patches_->empty();
 
   const bool is_last = body_pos_ + 1 == loop.body.size();
-  for (std::size_t i = 0; i < scratch_.op_count(); ++i) {
-    Operation& op = scratch_.op(i);
-    if (is_memory(op.kind)) {
-      if (rng_.next_bool(loop.miss_frac)) {
-        std::uint64_t& cur = cold_cursor_[loop_idx_];
-        op.addr = loop.cold_base + address_salt_ + cur;
-        cur = (cur + kColdLineBytes) % kColdWrapBytes;
+  if (cur_is_scratch_) {
+    // Only memory and branch ops need per-execution patching; the
+    // precomputed patch list (op order preserved, so RNG draws are
+    // reproducible) skips the rest — and a patch-free instruction skips
+    // the copy altogether.
+    scratch_ = *cur_tmpl_;
+    scratch_.set_pc(cur_pc_);
+    for (const std::uint8_t i : *cur_patches_) {
+      Operation& op = scratch_.op(i);
+      if (is_memory(op.kind)) {
+        if (rng_.next_bool(loop.miss_frac)) {
+          std::uint64_t& cur = cold_cursor_[loop_idx_];
+          op.addr = loop.cold_base + address_salt_ + cur;
+          cur = (cur + kColdLineBytes) % kColdWrapBytes;
+        } else {
+          // cur is maintained in [0, hot_window): same addresses as the
+          // raw-cursor modulo, without the division.
+          std::uint64_t& cur = hot_cursor_[loop_idx_];
+          op.addr = loop.hot_base + address_salt_ + cur;
+          cur += hot_stride_mod_[loop_idx_];
+          if (cur >= loop.hot_window) cur -= loop.hot_window;
+        }
       } else {
-        std::uint64_t& cur = hot_cursor_[loop_idx_];
-        op.addr = loop.hot_base + address_salt_ +
-                  (cur % loop.hot_window);
-        cur += program_->profile().hot_stride;
+        // The loop-closing branch is always taken (back edge or exit
+        // jump); mid-body branches resolve randomly.
+        op.taken = is_last ||
+                   rng_.next_bool(program_->profile().mid_branch_taken);
       }
-    } else if (op.kind == OpKind::kBranch) {
-      // The loop-closing branch is always taken (back edge or exit jump);
-      // mid-body branches resolve randomly.
-      op.taken = is_last ||
-                 rng_.next_bool(program_->profile().mid_branch_taken);
     }
   }
 
@@ -67,11 +83,22 @@ const Instruction& TraceGenerator::next() {
   } else {
     ++body_pos_;
   }
+}
+
+const Instruction& TraceGenerator::next() {
+  advance();
+  if (!cur_is_scratch_) {
+    // Preserve next()'s contract: the returned instruction carries the
+    // salted PC, so materialise the template into scratch.
+    scratch_ = *cur_tmpl_;
+    scratch_.set_pc(cur_pc_);
+    cur_is_scratch_ = true;
+  }
   return scratch_;
 }
 
 const Footprint& TraceGenerator::current_footprint() const {
-  return scratch_fp_;
+  return *cur_fp_;
 }
 
 }  // namespace cvmt

@@ -32,9 +32,31 @@ class TraceGenerator {
   /// decides the instruction budget.
   const Instruction& next();
 
+  /// Hot-path variant of next(): advances the stream but materialises a
+  /// patched copy only when the instruction has memory/branch ops. Read
+  /// the result via current_instruction()/current_pc()/...; note that a
+  /// patch-free current_instruction() aliases the program template, whose
+  /// pc is unsalted — use current_pc() for the fetch address.
+  void advance();
+
+  /// The instruction advance() emitted (template or patched scratch).
+  [[nodiscard]] const Instruction& current_instruction() const {
+    return cur_is_scratch_ ? scratch_ : *cur_tmpl_;
+  }
+  /// Salted PC of the current instruction.
+  [[nodiscard]] std::uint64_t current_pc() const { return cur_pc_; }
+
   /// Footprint of the most recently emitted instruction (cached template
-  /// footprint; patches never change placement).
+  /// footprint; patches never change placement). Points into the shared
+  /// immutable program — stable until the program itself goes away.
   [[nodiscard]] const Footprint& current_footprint() const;
+
+  /// Patch list of the most recently emitted instruction: indices of its
+  /// memory and branch operations, in op order. Lets the issue path visit
+  /// only the timing-relevant ops. Same lifetime as current_footprint().
+  [[nodiscard]] const SyntheticProgram::PatchList& current_patches() const {
+    return *cur_patches_;
+  }
 
   [[nodiscard]] std::uint64_t instructions_emitted() const {
     return emitted_;
@@ -58,11 +80,24 @@ class TraceGenerator {
   std::size_t body_pos_ = 0;
 
   /// Per-loop persistent walk state (streams continue across re-entries).
+  /// The hot cursor is kept already reduced modulo the loop's hot window
+  /// (with the stride pre-reduced too), so the per-access address needs a
+  /// compare-subtract instead of a 64-bit modulo.
   std::vector<std::uint64_t> hot_cursor_;
+  std::vector<std::uint64_t> hot_stride_mod_;
   std::vector<std::uint64_t> cold_cursor_;
 
   Instruction scratch_;
-  Footprint scratch_fp_;
+  /// Cached views of the current instruction. The template, footprint and
+  /// patch-list pointers reach into program_ (immutable, shared), so
+  /// generator copies — snapshots — keep them valid; whether the emitted
+  /// instruction lives in scratch_ is a flag rather than a self-pointer
+  /// for the same reason.
+  const Footprint* cur_fp_ = nullptr;
+  const SyntheticProgram::PatchList* cur_patches_ = nullptr;
+  const Instruction* cur_tmpl_ = nullptr;
+  bool cur_is_scratch_ = false;
+  std::uint64_t cur_pc_ = 0;
   std::uint64_t emitted_ = 0;
 };
 

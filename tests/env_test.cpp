@@ -73,5 +73,18 @@ TEST(EnvU64, OutOfRangeFallsBack) {
   EXPECT_EQ(env_u64(kVar, 7), 7u);
 }
 
+TEST(EnvWord, LowercasesAndFallsBack) {
+  EnvGuard guard(kVar);
+  EXPECT_EQ(env_word(kVar, "fast"), "fast");  // unset -> fallback
+  guard.set("");
+  EXPECT_EQ(env_word(kVar, "fast"), "fast");  // empty -> fallback
+  guard.set("FULL");
+  EXPECT_EQ(env_word(kVar, "fast"), "full");  // case-insensitive
+  guard.set("Fast");
+  EXPECT_EQ(env_word(kVar, "full"), "fast");
+  guard.set("bogus");
+  EXPECT_EQ(env_word(kVar, "fast"), "bogus");  // caller validates
+}
+
 }  // namespace
 }  // namespace cvmt
