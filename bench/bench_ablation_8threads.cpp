@@ -1,64 +1,9 @@
-// Extension bench (paper's "support more threads" motivation): 8-thread
-// merging schemes built with the general scheme grammar, on doubled
-// Table 2 workloads. Compares pure CSMT, one-SMT-block mixes and the cost
-// of each, showing the paper's trade-off extends past 4 threads.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run 8threads`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-namespace {
-
-using namespace cvmt;
-
-Scheme mixed_8t(int smt_levels) {
-  std::vector<MergeKind> levels(7, MergeKind::kCsmt);
-  for (int i = 0; i < smt_levels; ++i) levels[static_cast<std::size_t>(i)] =
-      MergeKind::kSmt;
-  return Scheme::cascade(levels);
-}
-
-}  // namespace
-
-int main() {
-  using namespace cvmt;
-  ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout,
-               "Ablation: 8-thread schemes (beyond the paper's 4)");
-
-  // The tree entry demonstrates the functional grammar: two 4-thread
-  // halves, each 2SC3-style, joined by CSMT.
-  const Scheme tree8 =
-      Scheme::parse("C(CP(S(0,1),2,3),CP(S(4,5),6,7))");
-  const std::vector<Scheme> all = {Scheme::parallel_csmt(8), mixed_8t(0),
-                                   mixed_8t(1), mixed_8t(2), tree8};
-
-  // One batch for the whole table: scheme si, workload w at si*W+w, each
-  // workload doubled to 8 software threads on 8 contexts.
-  const auto& wls = table2_workloads();
-  std::vector<BatchJob> jobs;
-  jobs.reserve(all.size() * wls.size());
-  for (const Scheme& s : all) {
-    for (const Workload& w : wls) {
-      BatchJob job = make_job(s, w, cfg.sim);
-      job.benchmarks.insert(job.benchmarks.end(), w.benchmarks.begin(),
-                            w.benchmarks.end());
-      jobs.push_back(std::move(job));
-    }
-  }
-  const std::vector<double> avg =
-      group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
-
-  TableWriter t({"Scheme", "Avg IPC", "Transistors", "Gate delays"});
-  for (std::size_t si = 0; si < all.size(); ++si) {
-    const SchemeCost c = scheme_cost(all[si], cfg.sim.machine);
-    t.add_row({all[si].name(), format_fixed(avg[si], 2),
-               format_grouped(c.transistors),
-               format_fixed(c.gate_delay, 1)});
-  }
-  emit(std::cout, t);
-  std::cout << "\nReading: one SMT level recovers most of the merging\n"
-               "opportunity even at 8 threads, at a fraction of the cost\n"
-               "of deeper SMT cascades (the paper's trade-off, extended).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("8threads", argc, argv);
 }

@@ -1,59 +1,9 @@
-// Multithreading baselines from the paper's related work (§1): Block
-// MultiThreading (switch on long-latency events) and Interleaved
-// MultiThreading (zero-cycle switch every cycle) issue ONE thread per
-// cycle; the merging schemes add horizontal packing on top. This bench
-// quantifies each step of that ladder on the Table 2 workloads.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run baselines`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout,
-               "Baselines: single-thread, BMT, IMT vs merging schemes");
-
-  struct Config {
-    const char* label;
-    Scheme scheme;
-    PriorityPolicy policy;
-  };
-  const std::vector<Config> ladder = {
-      {"single-thread", Scheme::single_thread(),
-       PriorityPolicy::kRoundRobin},
-      {"BMT-4 (switch on stall)", Scheme::imt(4),
-       PriorityPolicy::kStickyOnStall},
-      {"IMT-4 (switch every cycle)", Scheme::imt(4),
-       PriorityPolicy::kRoundRobin},
-      {"CSMT-4 (3CCC)", Scheme::parse("3CCC"), PriorityPolicy::kRoundRobin},
-      {"mixed (2SC3)", Scheme::parse("2SC3"), PriorityPolicy::kRoundRobin},
-      {"SMT-4 (3SSS)", Scheme::parse("3SSS"), PriorityPolicy::kRoundRobin},
-  };
-
-  // One batch for the whole ladder: config c, workload w at c*W+w.
-  const auto& wls = table2_workloads();
-  std::vector<BatchJob> jobs;
-  jobs.reserve(ladder.size() * wls.size());
-  for (const Config& c : ladder) {
-    SimConfig sim = cfg.sim;
-    sim.priority = c.policy;
-    for (const Workload& w : wls) jobs.push_back(make_job(c.scheme, w, sim));
-  }
-  const std::vector<double> avg =
-      group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
-
-  TableWriter t({"Configuration", "Avg IPC", "vs single"});
-  double base = 0.0;
-  for (std::size_t c = 0; c < ladder.size(); ++c) {
-    if (base == 0.0) base = avg[c];
-    t.add_row({ladder[c].label, format_fixed(avg[c], 2),
-               format_fixed(percent_diff(avg[c], base), 1) + "%"});
-  }
-  emit(std::cout, t);
-  std::cout << "\nLadder: IMT/BMT reclaim vertical waste caused by stalls\n"
-               "only; CSMT additionally packs cluster-disjoint packets;\n"
-               "SMT packs at operation level; 2SC3 buys most of the SMT\n"
-               "step at a 2-thread-SMT price (the paper's point).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("baselines", argc, argv);
 }

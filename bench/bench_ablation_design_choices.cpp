@@ -1,74 +1,9 @@
-// Ablations of the simulator design choices called out in DESIGN.md §7:
-//   * priority policy (round-robin rotation vs fixed priority),
-//   * DCache miss handling (serialized vs overlapped),
-//   * cache sharing (shared vs per-thread private),
-//   * tree-atomicity (what the paper's tree schemes give up).
-// Each ablation reruns a representative scheme on all workloads.
-#include <iostream>
-#include <vector>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run design-choices`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout, "Ablation: simulator design choices");
-
-  struct Cell {
-    const char* ablation;
-    const char* setting;
-    const char* scheme;
-    SimConfig sim;
-  };
-  std::vector<Cell> cells;
-  for (const char* scheme_name : {"3CCC", "2SC3", "3SSS"}) {
-    SimConfig rr = cfg.sim;
-    rr.priority = PriorityPolicy::kRoundRobin;
-    SimConfig fx = cfg.sim;
-    fx.priority = PriorityPolicy::kFixed;
-    cells.push_back({"priority", "round-robin", scheme_name, rr});
-    cells.push_back({"priority", "fixed", scheme_name, fx});
-
-    SimConfig ser = cfg.sim;
-    ser.miss_policy = MissPolicy::kSerialized;
-    SimConfig ovl = cfg.sim;
-    ovl.miss_policy = MissPolicy::kOverlapped;
-    cells.push_back({"miss policy", "serialized", scheme_name, ser});
-    cells.push_back({"miss policy", "overlapped", scheme_name, ovl});
-
-    SimConfig shared = cfg.sim;
-    SimConfig priv = cfg.sim;
-    priv.mem.sharing = CacheSharing::kPrivate;
-    cells.push_back({"caches", "shared", scheme_name, shared});
-    cells.push_back({"caches", "private", scheme_name, priv});
-  }
-  // Tree atomicity: 2CC versus the cascade 3CCC (the cascade is the
-  // "fallback" hardware that re-tries group members individually).
-  const std::size_t kSchemeGroupCells = 6;  // separator after each group
-  cells.push_back(
-      {"tree atomicity", "atomic groups (2CC)", "2CC", cfg.sim});
-  cells.push_back(
-      {"tree atomicity", "per-thread cascade (3CCC)", "3CCC", cfg.sim});
-
-  // One batch for the whole table: cell c, workload w at c*W+w.
-  const auto& wls = table2_workloads();
-  std::vector<BatchJob> jobs;
-  jobs.reserve(cells.size() * wls.size());
-  for (const Cell& c : cells)
-    for (const Workload& w : wls)
-      jobs.push_back(make_job(Scheme::parse(c.scheme), w, c.sim));
-  const std::vector<double> avg =
-      group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
-
-  TableWriter t({"Ablation", "Setting", "Scheme", "Avg IPC"});
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    t.add_row({cells[c].ablation, cells[c].setting, cells[c].scheme,
-               format_fixed(avg[c], 3)});
-    if ((c + 1) % kSchemeGroupCells == 0 && c + 2 < cells.size())
-      t.add_separator();
-  }
-
-  emit(std::cout, t);
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("design-choices", argc, argv);
 }

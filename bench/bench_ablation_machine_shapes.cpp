@@ -1,57 +1,9 @@
-// Machine-shape ablation: the paper fixes a 4-cluster x 4-issue machine;
-// this bench sweeps the (clusters, issue-width) grid at a constant-ish
-// total width and shows how the scheme trade-off shifts. More clusters
-// favour CSMT (finer-grained cluster allocation); wider clusters favour
-// SMT (more room to pack operations).
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run machine-shapes`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout,
-               "Ablation: machine shape (clusters x issue width)");
-
-  const std::pair<int, int> shapes[] = {
-      {2, 8}, {4, 4}, {8, 2},  // constant 16-wide
-      {4, 2}, {2, 4},          // 8-wide points
-  };
-  const char* schemes[] = {"1S", "3CCC", "2SC3", "3SSS"};
-
-  TableWriter t({"Machine", "Total width", "1S", "3CCC", "2SC3", "3SSS",
-                 "2SC3 vs 3CCC"});
-  for (const auto& [clusters, width] : shapes) {
-    const MachineConfig machine = MachineConfig::clustered(clusters, width);
-    SimConfig sim = cfg.sim;
-    sim.machine = machine;
-
-    // One batch per machine shape: every scheme on every workload.
-    const auto& wls = table2_workloads();
-    std::vector<BatchJob> jobs;
-    jobs.reserve(std::size(schemes) * wls.size());
-    for (const char* s : schemes)
-      for (const Workload& w : wls)
-        jobs.push_back(make_job(Scheme::parse(s), w, sim));
-    const std::vector<double> avg =
-        group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
-
-    std::vector<std::string> row{
-        std::to_string(clusters) + "x" + std::to_string(width),
-        std::to_string(machine.total_issue_width())};
-    double csmt = 0.0, mixed = 0.0;
-    for (std::size_t si = 0; si < std::size(schemes); ++si) {
-      if (std::string(schemes[si]) == "3CCC") csmt = avg[si];
-      if (std::string(schemes[si]) == "2SC3") mixed = avg[si];
-      row.push_back(format_fixed(avg[si], 2));
-    }
-    row.push_back(format_fixed(percent_diff(mixed, csmt), 1) + "%");
-    t.add_row(std::move(row));
-  }
-  emit(std::cout, t);
-  std::cout << "\nNote: on machines narrower than 16 issue slots the\n"
-               "high-ILP profiles cannot reach their Table 1 IPCp, so\n"
-               "compare schemes within a row, not across rows.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("machine-shapes", argc, argv);
 }

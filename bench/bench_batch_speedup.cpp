@@ -1,70 +1,9 @@
-// Wall-clock validation of the batch experiment runner: runs the full
-// Fig 10 grid (16 schemes x 9 Table 2 workloads = 144 independent jobs)
-// serially (1 worker) and through the worker pool (CVMT_WORKERS or all
-// cores), verifies the IPC tables are bit-identical, and reports the
-// speedup. On an 8-core machine the parallel path is expected to be
-// >= 3x faster; on a single core it degenerates to ~1x by construction.
-#include <chrono>
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run batch-speedup`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-#include "support/thread_pool.hpp"
-
-namespace {
-
-using namespace cvmt;
-
-double timed_seconds(Fig10Result& out, const ExperimentConfig& cfg) {
-  const auto start = std::chrono::steady_clock::now();
-  out = run_fig10(cfg);
-  const auto stop = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(stop - start).count();
-}
-
-}  // namespace
-
-int main() {
-  using namespace cvmt;
-  print_banner(std::cout, "Batch runner: serial vs parallel Fig 10 grid");
-
-  ExperimentConfig serial_cfg = ExperimentConfig::from_env();
-  serial_cfg.batch.workers = 1;
-  ExperimentConfig parallel_cfg = ExperimentConfig::from_env();
-
-  // Warm the process-wide program-library cache so neither timed run
-  // pays the one-time build cost (library_for caches per machine).
-  {
-    SimConfig warm = serial_cfg.sim;
-    warm.instruction_budget = 1'000;
-    warm.timeslice_cycles = 1'000;
-    const std::vector<BatchJob> jobs = {
-        make_job(Scheme::single_thread(), table2_workloads().front(), warm)};
-    (void)run_batch_ipc(jobs, serial_cfg.batch);
-  }
-
-  Fig10Result serial, parallel;
-  const double serial_s = timed_seconds(serial, serial_cfg);
-  const double parallel_s = timed_seconds(parallel, parallel_cfg);
-
-  bool identical = serial.schemes == parallel.schemes &&
-                   serial.workloads == parallel.workloads &&
-                   serial.average == parallel.average;
-  for (std::size_t w = 0; identical && w < serial.ipc.size(); ++w)
-    identical = serial.ipc[w] == parallel.ipc[w];
-
-  const unsigned workers =
-      resolve_workers(parallel_cfg.batch,
-                      serial.schemes.size() * serial.workloads.size());
-  TableWriter t({"Path", "Workers", "Wall-clock (s)", "Speedup"});
-  t.add_row({"serial", "1", format_fixed(serial_s, 2), "1.00x"});
-  t.add_row({"batch runner", std::to_string(workers),
-             format_fixed(parallel_s, 2),
-             format_fixed(serial_s / parallel_s, 2) + "x"});
-  emit(std::cout, t);
-
-  std::cout << "\nIPC tables bit-identical: " << (identical ? "yes" : "NO")
-            << " (hardware cores: " << ThreadPool::hardware_workers()
-            << ")\n";
-  return identical ? 0 : 1;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("batch-speedup", argc, argv);
 }

@@ -1,478 +1,9 @@
-// Cycle-loop throughput: how many simulated cycles per wall-clock second
-// the simulator sustains on the Fig 10 configuration (4-thread schemes on
-// a Table 2 workload), across the hot-path variants introduced with the
-// compiled MergePlan:
-//
-//   seed replica        — an in-binary replica of the pre-MergePlan hot
-//                         path: full-array instruction copies in the trace
-//                         generator and thread context, per-operation
-//                         patch scans with the raw hot-window modulo,
-//                         recursive tree evaluation, full merge stats and
-//                         a one-cycle-at-a-time OS loop. Asserted to be
-//                         bit-identical to the library, so the measured
-//                         gap is pure hot-path work;
-//   tree / full / step  — the library with the reference tree evaluator,
-//                         full stats, no stall fast-forward;
-//   tree / full / ff    — + stall fast-forward over all-stalled windows;
-//   plan / full / ff    — + flattened MergePlan evaluator;
-//   plan / fast / ff    — + StatsLevel::kFast (the sweep default).
-//
-// Every variant must produce identical simulation results (checked here,
-// not just claimed); only wall-clock differs. The acceptance floor is a
-// >= 2x simulated-cycles/second gain of plan/fast/ff over the seed
-// replica. A second table micro-times MergeEngine::select alone.
-//
-//   CVMT_FAST=1   smoke-scale run
-//   CVMT_BUDGET   instructions per thread
-#include <array>
-#include <chrono>
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run cycle-loop`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/check.hpp"
-#include "support/env.hpp"
-#include "support/rng.hpp"
-#include "support/string_util.hpp"
-
-namespace {
-
-using namespace cvmt;
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-// ===================================================================
-// Seed replica: the pre-MergePlan per-cycle data motion, reproduced with
-// the library's public pieces. Structure mirrors the seed sources
-// (trace_generator/thread_context/multithreaded_core/os_scheduler) before
-// this refactor; RNG draw order and every address are identical, which
-// the result assertions in main() verify end to end.
-// ===================================================================
-
-/// The seed's effective instruction copy: the full inline array, not just
-/// the occupied prefix.
-struct FatInstr {
-  std::array<Operation, kMaxTotalOps> ops;
-  std::size_t count = 0;
-  std::uint64_t pc = 0;
-};
-
-constexpr std::uint64_t kColdLineBytes = 64;
-constexpr std::uint64_t kColdWrapBytes = 64ULL << 20;
-
-class SeedGen {
- public:
-  SeedGen(std::shared_ptr<const SyntheticProgram> program,
-          std::uint64_t stream_seed)
-      : program_(std::move(program)),
-        rng_(SplitMix64(stream_seed ^ 0xabcdef12345ULL).next()) {
-    SplitMix64 sm(stream_seed);
-    address_salt_ = (sm.next() % 2048) * 0x100000ULL;
-    const std::size_t n = program_->loops().size();
-    hot_cursor_.assign(n, 0);
-    cold_cursor_.assign(n, 0);
-    fat_loops_.resize(n);
-    for (std::size_t l = 0; l < n; ++l) {
-      const auto& body = program_->loops()[l].body;
-      fat_loops_[l].resize(body.size());
-      for (std::size_t i = 0; i < body.size(); ++i) {
-        FatInstr& fat = fat_loops_[l][i];
-        fat.count = body[i].op_count();
-        fat.pc = body[i].pc();
-        for (std::size_t o = 0; o < fat.count; ++o)
-          fat.ops[o] = body[i].op(o);
-      }
-    }
-    enter_next_loop();
-  }
-
-  const FatInstr& next() {
-    const SyntheticProgram::Loop& loop = program_->loops()[loop_idx_];
-
-    scratch_ = fat_loops_[loop_idx_][body_pos_];  // full-array copy (seed)
-    scratch_fp_ = loop.footprints[body_pos_];
-    scratch_.pc += address_salt_;
-
-    const bool is_last = body_pos_ + 1 == loop.body.size();
-    for (std::size_t i = 0; i < scratch_.count; ++i) {  // full op scan
-      Operation& op = scratch_.ops[i];
-      if (is_memory(op.kind)) {
-        if (rng_.next_bool(loop.miss_frac)) {
-          std::uint64_t& cur = cold_cursor_[loop_idx_];
-          op.addr = loop.cold_base + address_salt_ + cur;
-          cur = (cur + kColdLineBytes) % kColdWrapBytes;
-        } else {
-          std::uint64_t& cur = hot_cursor_[loop_idx_];
-          op.addr = loop.hot_base + address_salt_ +
-                    (cur % loop.hot_window);  // the seed's raw modulo
-          cur += program_->profile().hot_stride;
-        }
-      } else if (op.kind == OpKind::kBranch) {
-        op.taken = is_last ||
-                   rng_.next_bool(program_->profile().mid_branch_taken);
-      }
-    }
-
-    if (is_last) {
-      body_pos_ = 0;
-      if (--trips_left_ == 0) enter_next_loop();
-    } else {
-      ++body_pos_;
-    }
-    return scratch_;
-  }
-
-  [[nodiscard]] const Footprint& current_footprint() const {
-    return scratch_fp_;
-  }
-
- private:
-  void enter_next_loop() {
-    loop_idx_ = rng_.next_below(program_->loops().size());
-    trips_left_ =
-        rng_.next_trip_count(program_->loops()[loop_idx_].mean_trips);
-    body_pos_ = 0;
-  }
-
-  std::shared_ptr<const SyntheticProgram> program_;
-  Xoshiro256 rng_;
-  std::uint64_t address_salt_ = 0;
-  std::size_t loop_idx_ = 0;
-  std::uint64_t trips_left_ = 0;
-  std::size_t body_pos_ = 0;
-  std::vector<std::uint64_t> hot_cursor_;
-  std::vector<std::uint64_t> cold_cursor_;
-  std::vector<std::vector<FatInstr>> fat_loops_;
-  FatInstr scratch_;
-  Footprint scratch_fp_;
-};
-
-class SeedThread {
- public:
-  SeedThread(std::shared_ptr<const SyntheticProgram> program,
-             std::uint64_t stream_seed, std::uint64_t budget)
-      : gen_(std::move(program), stream_seed), budget_(budget) {}
-
-  const Footprint* offer(std::uint64_t cycle, MemorySystem& mem,
-                         int hw_tid) {
-    if (done_) return nullptr;
-    if (!has_pending_) {
-      pending_ = gen_.next();  // full-array copy (seed's pending_ copy)
-      pending_fp_ = gen_.current_footprint();
-      has_pending_ = true;
-      const MemAccessResult fetch = mem.fetch(hw_tid, pending_.pc);
-      if (!fetch.hit) {
-        ready_at_ = std::max(ready_at_, cycle) +
-                    static_cast<std::uint64_t>(fetch.penalty_cycles);
-      }
-    }
-    return cycle >= ready_at_ ? &pending_fp_ : nullptr;
-  }
-
-  void consume(std::uint64_t cycle, MemorySystem& mem, int hw_tid,
-               const MachineConfig& machine, MissPolicy policy) {
-    ++instructions_;
-    ops_ += pending_.count;
-    std::uint64_t stall = 1;
-    int dmiss_total = 0;
-    int dmiss_max = 0;
-    bool taken = false;
-    for (std::size_t i = 0; i < pending_.count; ++i) {  // full op scan
-      const Operation& op = pending_.ops[i];
-      if (is_memory(op.kind)) {
-        const MemAccessResult r = mem.data_access(hw_tid, op.addr);
-        dmiss_total += r.penalty_cycles;
-        dmiss_max = std::max(dmiss_max, r.penalty_cycles);
-      } else if (op.kind == OpKind::kBranch && op.taken) {
-        taken = true;
-      }
-    }
-    const int dmiss =
-        policy == MissPolicy::kSerialized ? dmiss_total : dmiss_max;
-    stall += static_cast<std::uint64_t>(dmiss);
-    if (taken) stall += static_cast<std::uint64_t>(
-        machine.taken_branch_penalty);
-    ready_at_ = cycle + stall;
-    has_pending_ = false;
-    if (instructions_ >= budget_) done_ = true;
-  }
-
-  [[nodiscard]] bool done() const { return done_; }
-  [[nodiscard]] std::uint64_t instructions() const { return instructions_; }
-  [[nodiscard]] std::uint64_t ops() const { return ops_; }
-
- private:
-  SeedGen gen_;
-  std::uint64_t budget_;
-  bool has_pending_ = false;
-  bool done_ = false;
-  FatInstr pending_;
-  Footprint pending_fp_;
-  std::uint64_t ready_at_ = 0;
-  std::uint64_t instructions_ = 0;
-  std::uint64_t ops_ = 0;
-};
-
-struct SeedRunResult {
-  std::uint64_t cycles = 0;
-  std::uint64_t total_ops = 0;
-  std::uint64_t total_instructions = 0;
-};
-
-/// The seed's OsScheduler::run + MultithreadedCore::step, one cycle at a
-/// time, over the tree-reference engine with full statistics.
-SeedRunResult run_seed_replica(
-    const Scheme& scheme,
-    const std::vector<std::shared_ptr<const SyntheticProgram>>& programs,
-    const SimConfig& cfg) {
-  MemorySystem mem(cfg.mem, scheme.num_threads());
-  MergeEngine engine(scheme, cfg.machine, cfg.priority, StatsLevel::kFull,
-                     EvalMode::kTreeReference);
-  const int n = scheme.num_threads();
-
-  std::vector<std::unique_ptr<SeedThread>> threads;
-  for (std::size_t i = 0; i < programs.size(); ++i)
-    threads.push_back(std::make_unique<SeedThread>(
-        programs[i], cfg.stream_seed_base + 0x1000ULL * i,
-        cfg.instruction_budget));
-
-  std::array<SeedThread*, kMaxThreads> slots{};
-  Xoshiro256 os_rng(cfg.os_seed);
-  SeedRunResult result;
-
-  std::uint64_t cycle = 0;
-  for (; cycle < cfg.max_cycles; ++cycle) {
-    if (cycle % cfg.timeslice_cycles == 0) {
-      // Seed reschedule: Fisher-Yates prefix shuffle of runnable threads.
-      std::vector<SeedThread*> runnable;
-      for (const auto& t : threads)
-        if (!t->done()) runnable.push_back(t.get());
-      const std::size_t take = std::min<std::size_t>(
-          static_cast<std::size_t>(n), runnable.size());
-      for (std::size_t i = 0; i < take; ++i) {
-        const std::size_t j = i + os_rng.next_below(runnable.size() - i);
-        std::swap(runnable[i], runnable[j]);
-      }
-      for (int s = 0; s < n; ++s)
-        slots[static_cast<std::size_t>(s)] =
-            static_cast<std::size_t>(s) < take
-                ? runnable[static_cast<std::size_t>(s)]
-                : nullptr;
-    }
-
-    // Seed core step.
-    std::array<const Footprint*, kMaxThreads> offers{};
-    bool any_offer = false;
-    for (int s = 0; s < n; ++s) {
-      SeedThread* t = slots[static_cast<std::size_t>(s)];
-      offers[static_cast<std::size_t>(s)] =
-          t ? t->offer(cycle, mem, s) : nullptr;
-      any_offer |= offers[static_cast<std::size_t>(s)] != nullptr;
-    }
-    bool any_done = false;
-    if (any_offer) {
-      const MergeDecision d = engine.select(std::span<const Footprint* const>(
-          offers.data(), static_cast<std::size_t>(n)));
-      std::uint32_t mask = d.issued_mask;
-      while (mask != 0) {
-        const int s = std::countr_zero(mask);
-        mask &= mask - 1;
-        SeedThread* t = slots[static_cast<std::size_t>(s)];
-        const std::uint64_t ops_before = t->ops();
-        t->consume(cycle, mem, s, cfg.machine, cfg.miss_policy);
-        result.total_ops += t->ops() - ops_before;
-        ++result.total_instructions;
-        any_done |= t->done();
-      }
-    }
-    if (any_done) {
-      ++cycle;  // count the finishing cycle
-      break;
-    }
-  }
-  result.cycles = cycle;
-  return result;
-}
-
-// ===================================================================
-
-struct Mode {
-  const char* name;
-  EvalMode eval;
-  StatsLevel stats;
-  bool fast_forward;
-};
-
-constexpr Mode kModes[] = {
-    {"tree / full / step", EvalMode::kTreeReference, StatsLevel::kFull,
-     false},
-    {"tree / full / ff", EvalMode::kTreeReference, StatsLevel::kFull, true},
-    {"plan / full / ff", EvalMode::kPlan, StatsLevel::kFull, true},
-    {"plan / fast / ff", EvalMode::kPlan, StatsLevel::kFast, true},
-};
-
-/// Random candidate pool for the select() micro-timing.
-std::vector<Footprint> random_footprints(const MachineConfig& m, int n,
-                                         std::uint64_t seed) {
-  Xoshiro256 rng(seed);
-  std::vector<Footprint> fps;
-  fps.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    Instruction instr;
-    std::uint32_t used[kMaxClusters] = {};
-    const int k = 1 + static_cast<int>(rng.next_below(6));
-    for (int j = 0; j < k; ++j) {
-      const int c = static_cast<int>(rng.next_below(4));
-      for (int s = 0; s < 4; ++s) {
-        if ((used[c] & (1u << s)) == 0) {
-          used[c] |= 1u << s;
-          instr.add(make_alu(c, s));
-          break;
-        }
-      }
-    }
-    fps.push_back(Footprint::of(instr, m));
-  }
-  return fps;
-}
-
-}  // namespace
-
-int main() {
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  const MachineConfig machine = cfg.sim.machine;
-
-  print_banner(std::cout,
-               "Cycle-loop throughput (Fig 10 configuration, workload "
-               "LMHH)");
-
-  ProgramLibrary lib(machine);
-  lib.build_all();
-  const Workload* wl = nullptr;
-  for (const Workload& w : table2_workloads())
-    if (w.ilp_combo == "LMHH") wl = &w;
-  CVMT_CHECK(wl != nullptr);
-  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
-  for (const std::string& name : wl->benchmarks)
-    programs.push_back(lib.lookup(name));
-
-  const char* schemes[] = {"3CCC", "2SC3", "3SSS", "C4"};
-  // Best-of-k wall time per cell: one-shot timings on a shared machine
-  // are vulnerable to load spikes, and the minimum is the standard robust
-  // estimator for throughput. Results are asserted identical every rep.
-  const int reps = env_u64("CVMT_FAST", 0) != 0 ? 2 : 3;
-
-  TableWriter t({"Scheme", "Mode", "Sim cycles", "Wall s", "Mcycles/s",
-                 "Speedup"});
-  double seed_wall = 0.0, fast_wall = 0.0;
-  std::uint64_t seed_cycles = 0, fast_cycles = 0;
-  for (const char* name : schemes) {
-    const Scheme scheme = Scheme::parse(name);
-
-    // Seed replica first: the 1.00x reference.
-    SeedRunResult seed;
-    double seed_secs = 0.0;
-    for (int rep = 0; rep < reps; ++rep) {
-      const auto start = Clock::now();
-      const SeedRunResult r = run_seed_replica(scheme, programs, cfg.sim);
-      const double wall = seconds_since(start);
-      if (rep == 0 || wall < seed_secs) seed_secs = wall;
-      CVMT_CHECK(rep == 0 || r.cycles == seed.cycles);
-      seed = r;
-    }
-    const double seed_rate = static_cast<double>(seed.cycles) / seed_secs;
-    seed_wall += seed_secs;
-    seed_cycles += seed.cycles;
-    t.add_row({name, "seed replica",
-               format_grouped(static_cast<long long>(seed.cycles)),
-               format_fixed(seed_secs, 3),
-               format_fixed(seed_rate / 1e6, 2), "1.00x"});
-
-    for (const Mode& mode : kModes) {
-      SimConfig sim = cfg.sim;
-      sim.eval_mode = mode.eval;
-      sim.stats = mode.stats;
-      sim.stall_fast_forward = mode.fast_forward;
-      double best = 0.0;
-      std::uint64_t cycles = 0;
-      for (int rep = 0; rep < reps; ++rep) {
-        const auto start = Clock::now();
-        const SimResult r = run_simulation(scheme, programs, sim);
-        const double wall = seconds_since(start);
-        if (rep == 0 || wall < best) best = wall;
-        cycles = r.cycles;
-
-        // Hard guarantee, not a benchmark nicety: every variant (and the
-        // seed replica) is the same simulator.
-        CVMT_CHECK_MSG(r.cycles == seed.cycles &&
-                           r.total_ops == seed.total_ops &&
-                           r.total_instructions == seed.total_instructions,
-                       std::string("variant diverged from seed for ") +
-                           name);
-      }
-
-      const double rate = static_cast<double>(cycles) / best;
-      if (&mode == &kModes[std::size(kModes) - 1]) {
-        fast_wall += best;
-        fast_cycles += cycles;
-      }
-      t.add_row({name, mode.name,
-                 format_grouped(static_cast<long long>(cycles)),
-                 format_fixed(best, 3), format_fixed(rate / 1e6, 2),
-                 format_fixed(rate / seed_rate, 2) + "x"});
-    }
-    t.add_separator();
-  }
-  emit(std::cout, t);
-
-  const double seed_total = static_cast<double>(seed_cycles) / seed_wall;
-  const double fast_total = static_cast<double>(fast_cycles) / fast_wall;
-  std::cout << "\nAggregate simulated cycles/second: seed replica "
-            << format_fixed(seed_total / 1e6, 2) << "M, plan+fast+ff "
-            << format_fixed(fast_total / 1e6, 2) << "M  ->  "
-            << format_fixed(fast_total / seed_total, 2)
-            << "x (acceptance floor: 2.00x)\n\n";
-
-  // ---------------------------------------------------------- select() only
-  print_banner(std::cout, "MergeEngine::select micro-timing (tree vs plan)");
-  const auto pool = random_footprints(machine, 1024, 99);
-  const long iters = env_u64("CVMT_FAST", 0) != 0 ? 200'000 : 2'000'000;
-
-  TableWriter micro({"Scheme", "Tree Mselects/s", "Plan Mselects/s",
-                     "Speedup"});
-  for (const char* name : schemes) {
-    double rate[2] = {};
-    for (int pass = 0; pass < 2; ++pass) {
-      const EvalMode mode =
-          pass == 0 ? EvalMode::kTreeReference : EvalMode::kPlan;
-      MergeEngine engine(Scheme::parse(name), machine,
-                         PriorityPolicy::kRoundRobin, StatsLevel::kFull,
-                         mode);
-      const int n = engine.scheme().num_threads();
-      std::array<const Footprint*, kMaxThreads> cands{};
-      std::uint64_t sink = 0;
-      const auto start = Clock::now();
-      for (long i = 0; i < iters; ++i) {
-        for (int th = 0; th < n; ++th)
-          cands[static_cast<std::size_t>(th)] =
-              &pool[(static_cast<std::size_t>(i) +
-                     static_cast<std::size_t>(th) * 37) &
-                    1023];
-        sink += engine.select(std::span<const Footprint* const>(
-                                  cands.data(),
-                                  static_cast<std::size_t>(n)))
-                    .issued_mask;
-      }
-      const double wall = seconds_since(start);
-      rate[pass] = static_cast<double>(iters) / wall;
-      CVMT_CHECK(sink != 0);  // keep the loop observable
-    }
-    micro.add_row({name, format_fixed(rate[0] / 1e6, 2),
-                   format_fixed(rate[1] / 1e6, 2),
-                   format_fixed(rate[1] / rate[0], 2) + "x"});
-  }
-  emit(std::cout, micro);
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("cycle-loop", argc, argv);
 }

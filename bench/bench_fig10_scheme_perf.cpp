@@ -1,56 +1,9 @@
-// Reproduces Fig 10: IPC of every merging scheme on every Table 2
-// workload, plus the workload average and the paper's grouped view
-// (schemes whose selections coincide or differ by <1% are grouped in the
-// paper's legend).
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run fig10`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-namespace {
-
-/// The paper's legend groups, in its bottom-to-top order.
-const std::vector<std::vector<std::string>>& legend_groups() {
-  static const std::vector<std::vector<std::string>> kGroups = {
-      {"1S"},
-      {"3CCC", "C4"},
-      {"2CC"},
-      {"2CS"},
-      {"2SC3", "2C3S", "3CCS", "3CSC", "3SCC"},
-      {"3CSS", "3SSC", "3SCS"},
-      {"2SC"},
-      {"2SS"},
-      {"3SSS"},
-  };
-  return kGroups;
-}
-
-}  // namespace
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout, "Figure 10: merging schemes performance (IPC)");
-  const Fig10Result f = run_fig10(cfg);
-  emit(std::cout, render_fig10(f));
-
-  // Grouped view as in the paper's legend.
-  TableWriter grouped({"Group", "Avg IPC"});
-  for (const auto& group : legend_groups()) {
-    double sum = 0.0;
-    std::string label;
-    for (const auto& s : group) {
-      sum += f.average_of(s);
-      label += (label.empty() ? "" : ",") + s;
-    }
-    grouped.add_row({label,
-                     format_fixed(sum / static_cast<double>(group.size()),
-                                  2)});
-  }
-  print_banner(std::cout, "Grouped (paper legend)");
-  emit(std::cout, grouped);
-
-  print_banner(std::cout, "Headline relations");
-  print_headlines(std::cout, headline_relations(f));
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("fig10", argc, argv);
 }

@@ -1,20 +1,9 @@
-// Reproduces Fig 11: average performance vs transistors incurred for all
-// schemes (scatter points printed as rows, sorted by transistor count).
-#include <algorithm>
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run fig11`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout, "Figure 11: performance vs transistors incurred");
-  const Fig10Result f = run_fig10(cfg);
-  auto points = pareto_points(f, cfg.sim.machine);
-  std::sort(points.begin(), points.end(),
-            [](const ParetoPoint& a, const ParetoPoint& b) {
-              return a.transistors < b.transistors;
-            });
-  emit(std::cout, render_pareto(points));
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("fig11", argc, argv);
 }

@@ -1,20 +1,9 @@
-// Reproduces Fig 12: average performance vs merge-control gate delays for
-// all schemes (scatter points printed as rows, sorted by delay).
-#include <algorithm>
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run fig12`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout, "Figure 12: performance vs gate delays");
-  const Fig10Result f = run_fig10(cfg);
-  auto points = pareto_points(f, cfg.sim.machine);
-  std::sort(points.begin(), points.end(),
-            [](const ParetoPoint& a, const ParetoPoint& b) {
-              return a.gate_delay < b.gate_delay;
-            });
-  emit(std::cout, render_pareto(points));
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("fig12", argc, argv);
 }

@@ -1,21 +1,9 @@
-// Reproduces Fig 4: average IPC of the single-thread, 2-thread SMT and
-// 4-thread SMT processors over the Table 2 workloads. The paper reports a
-// 61% advantage of 4-thread over 2-thread SMT.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run fig4`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout, "Figure 4: SMT performance vs hardware threads");
-  const auto rows = run_fig4(cfg);
-  emit(std::cout, render_fig4(rows));
-  if (rows.size() == 3 && rows[1].avg_ipc > 0.0)
-    std::cout << "\n4-thread vs 2-thread gain: "
-              << format_fixed(percent_diff(rows[2].avg_ipc, rows[1].avg_ipc),
-                              1)
-              << "% (paper: 61%)\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("fig4", argc, argv);
 }

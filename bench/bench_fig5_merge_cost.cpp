@@ -1,19 +1,9 @@
-// Reproduces Fig 5: thread-merge-control cost (transistors, gate delays)
-// for CSMT serial, CSMT parallel and SMT designs on a 4-cluster 4-issue
-// machine, for 2..8 threads. Pure cost model, no simulation.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run fig5`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-
-int main() {
-  using namespace cvmt;
-  print_banner(std::cout,
-               "Figure 5: merge control cost vs number of threads "
-               "(4-cluster, 4-issue/cluster)");
-  emit(std::cout, render_fig5(run_fig5()));
-  std::cout << "\nShape checks (paper Sec. 3):\n"
-               "  * SMT cost explodes with threads (limits SMT to 2)\n"
-               "  * CSMT serial stays linear in both metrics\n"
-               "  * CSMT parallel: flat delay, exponential area\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("fig5", argc, argv);
 }

@@ -1,15 +1,9 @@
-// Reproduces Fig 6: per-workload performance advantage of a 4-thread SMT
-// processor (3SSS) over a 4-thread CSMT processor (3CCC). The paper
-// reports a 27% average with a 58% peak on LLHH.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run fig6`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout, "Figure 6: SMT performance advantage over CSMT "
-                          "(4 threads)");
-  emit(std::cout, render_fig6(run_fig6(cfg)));
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("fig6", argc, argv);
 }

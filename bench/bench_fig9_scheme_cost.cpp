@@ -1,18 +1,9 @@
-// Reproduces Fig 9: merging-hardware cost (gate delays and transistor
-// count) for the 16 four-thread schemes, in the paper's presentation
-// order.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run fig9`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-
-int main() {
-  using namespace cvmt;
-  print_banner(std::cout, "Figure 9: merging hardware cost per scheme");
-  emit(std::cout, render_fig9(run_fig9()));
-  std::cout << "\nKey relations (paper Sec. 4.2):\n"
-               "  * CSMT-only schemes (C4, 3CCC, 2CC) cheapest overall\n"
-               "  * one-SMT-block schemes (2SC3, 3SCC, ...) cost ~1S\n"
-               "  * 2SS / 3SSS are the most expensive\n"
-               "  * early-SMT schemes hide routing delay (2SC3 ~ 1S)\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("fig9", argc, argv);
 }

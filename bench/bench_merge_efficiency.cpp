@@ -1,53 +1,9 @@
-// Merge-efficiency diagnostics: for each scheme, how many threads issue
-// per cycle and where the merge checks fail. This is the mechanism view
-// behind Fig 10 — e.g. why 2SC3 recovers most of 3SSS: its single SMT
-// block accepts nearly every pair, and the CSMT levels only have to catch
-// the leftovers.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run merge-efficiency`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-int main() {
-  using namespace cvmt;
-  ExperimentConfig cfg = ExperimentConfig::from_env();
-  // This diagnostic reads per-block reject rates and the issued histogram,
-  // so it needs full merge statistics regardless of CVMT_STATS.
-  cfg.sim.stats = StatsLevel::kFull;
-  print_banner(std::cout, "Merge efficiency per scheme (workload LMHH)");
-
-  ProgramLibrary lib(cfg.sim.machine);
-  lib.build_all();
-  const Workload* wl = nullptr;
-  for (const Workload& w : table2_workloads())
-    if (w.ilp_combo == "LMHH") wl = &w;
-
-  TableWriter t({"Scheme", "IPC", "avg issued", "0 thr %", "1 thr %",
-                 "2 thr %", "3 thr %", "4 thr %", "reject % per block"});
-  for (const char* name :
-       {"1S", "3CCC", "2CC", "2SC3", "2CS", "2SC", "3SSC", "3SSS"}) {
-    const SimResult r =
-        run_workload(Scheme::parse(name), *wl, lib, cfg.sim);
-    std::vector<std::string> row{name, format_fixed(r.ipc, 2),
-                                 format_fixed(r.issued_per_cycle.mean(), 2)};
-    for (std::size_t k = 0; k <= 4; ++k) {
-      if (k < r.issued_per_cycle.num_buckets())
-        row.push_back(
-            format_fixed(100.0 * r.issued_per_cycle.fraction(k), 1));
-      else
-        row.push_back("-");
-    }
-    std::string rejects;
-    for (const auto& n : r.merge_nodes) {
-      if (!rejects.empty()) rejects += " ";
-      rejects += n.label + ":" + format_fixed(100.0 * n.reject_rate(), 0);
-    }
-    row.push_back(rejects);
-    t.add_row(std::move(row));
-  }
-  emit(std::cout, t);
-  std::cout << "\nReading: S blocks reject far less often than C blocks;\n"
-               "one early S block (2SC3) lifts the issued-threads mass\n"
-               "from 1-2 (3CCC) towards 2-3 without 3SSS's hardware.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("merge-efficiency", argc, argv);
 }

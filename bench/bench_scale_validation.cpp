@@ -1,62 +1,9 @@
-// Scale-down validation: the paper runs 100M instructions per thread with
-// 1M-cycle timeslices; this reproduction defaults to laptop-scale budgets.
-// This bench shows the *relative* results (the only thing the paper's
-// conclusions rest on) are stable across run lengths and timeslices,
-// which is what licenses the scale-down (see EXPERIMENTS.md).
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run scale`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-namespace {
-
-using namespace cvmt;
-
-struct Relations {
-  double sc3_vs_csmt, sc3_vs_1s, smt4_vs_1s;
-};
-
-Relations measure(const SimConfig& sim, const BatchOptions& batch) {
-  const char* names[] = {"1S", "3CCC", "2SC3", "3SSS"};
-  const auto& wls = table2_workloads();
-
-  // One batch per scale point: every scheme on every workload.
-  std::vector<BatchJob> jobs;
-  jobs.reserve(std::size(names) * wls.size());
-  for (const char* name : names)
-    for (const Workload& w : wls)
-      jobs.push_back(make_job(Scheme::parse(name), w, sim));
-  const std::vector<double> avg =
-      group_averages(run_batch_ipc(jobs, batch), wls.size());
-  return {percent_diff(avg[2], avg[1]), percent_diff(avg[2], avg[0]),
-          percent_diff(avg[3], avg[0])};
-}
-
-}  // namespace
-
-int main() {
-  using namespace cvmt;
-  print_banner(std::cout, "Scale-down validation (paper: 100M instrs, "
-                          "1M-cycle timeslice)");
-  const BatchOptions batch = ExperimentConfig::from_env().batch;
-
-  TableWriter t({"Budget (instrs)", "Timeslice (cycles)", "2SC3 vs 3CCC",
-                 "2SC3 vs 1S", "3SSS vs 1S"});
-  const std::pair<std::uint64_t, std::uint64_t> points[] = {
-      {50'000, 12'500}, {150'000, 25'000}, {400'000, 50'000},
-      {400'000, 200'000}, {800'000, 100'000}};
-  for (const auto& [budget, slice] : points) {
-    SimConfig sim;
-    sim.instruction_budget = budget;
-    sim.timeslice_cycles = slice;
-    const Relations r = measure(sim, batch);
-    t.add_row({format_grouped(static_cast<long long>(budget)),
-               format_grouped(static_cast<long long>(slice)),
-               format_fixed(r.sc3_vs_csmt, 1) + "%",
-               format_fixed(r.sc3_vs_1s, 1) + "%",
-               format_fixed(r.smt4_vs_1s, 1) + "%"});
-  }
-  emit(std::cout, t);
-  std::cout << "\nPaper reference points: +14%, +45%, +61%.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("scale", argc, argv);
 }

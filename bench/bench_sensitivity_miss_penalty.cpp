@@ -1,45 +1,9 @@
-// Sensitivity of the scheme trade-off to the memory system: the paper
-// fixes a 20-cycle miss penalty (400MHz, 50ns DRAM). Sweeping the penalty
-// shows why multithreading pays: longer memory stalls widen every
-// multithreaded scheme's lead over 1S, while the 2SC3-vs-3CCC gap — a
-// property of the merge networks, not the memory — barely moves.
-//
-// Note: the Table 1 IPCr calibration assumes 20 cycles, so absolute IPCs
-// at other penalties are not paper numbers; the relations are the point.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run miss-penalty`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout, "Sensitivity: DCache/ICache miss penalty");
-
-  TableWriter t({"Miss penalty", "1S", "3CCC", "2SC3", "3SSS",
-                 "2SC3 vs 3CCC", "3SSS vs 1S"});
-  const char* names[] = {"1S", "3CCC", "2SC3", "3SSS"};
-  for (int penalty : {5, 10, 20, 40, 80}) {
-    SimConfig sim = cfg.sim;
-    sim.mem.icache.miss_penalty = penalty;
-    sim.mem.dcache.miss_penalty = penalty;
-
-    // One batch per penalty: every scheme on every workload.
-    const auto& wls = table2_workloads();
-    std::vector<BatchJob> jobs;
-    jobs.reserve(std::size(names) * wls.size());
-    for (const char* name : names)
-      for (const Workload& w : wls)
-        jobs.push_back(make_job(Scheme::parse(name), w, sim));
-    const std::vector<double> avg =
-        group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
-    const double s1 = avg[0], ccc = avg[1], sc3 = avg[2], sss = avg[3];
-    t.add_row({std::to_string(penalty), format_fixed(s1, 2),
-               format_fixed(ccc, 2), format_fixed(sc3, 2),
-               format_fixed(sss, 2),
-               format_fixed(percent_diff(sc3, ccc), 1) + "%",
-               format_fixed(percent_diff(sss, s1), 1) + "%"});
-  }
-  emit(std::cout, t);
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("miss-penalty", argc, argv);
 }

@@ -1,19 +1,9 @@
-// Reproduces Table 1: the benchmark set with single-thread IPC under real
-// memory (IPCr) and perfect memory (IPCp), paper targets side by side.
-//
-// Knobs: CVMT_BUDGET (instructions/thread), CVMT_FAST=1, CVMT_CSV=1.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run table1`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-
-int main() {
-  using namespace cvmt;
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  print_banner(std::cout,
-               "Table 1: Benchmarks (single-thread IPCr / IPCp, 4-cluster "
-               "4-issue VEX)");
-  std::cout << "instruction budget per thread: "
-            << cfg.sim.instruction_budget << "\n\n";
-  emit(std::cout, render_table1(run_table1(cfg)));
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("table1", argc, argv);
 }

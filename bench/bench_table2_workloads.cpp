@@ -1,32 +1,9 @@
-// Reproduces Table 2: the nine multiprogrammed workload configurations,
-// annotated with each thread's measured single-thread IPC so the ILP
-// labels can be checked against the simulated reality.
-#include <iostream>
+// Registry shim: this experiment lives in src/exp/runners/ and runs
+// through the experiment registry — identical to `cvmt run table2`.
+// Flags (--budget, --fast, --format=table|csv|json, ...; see --help)
+// layer over the CVMT_* environment variables.
+#include "exp/driver.hpp"
 
-#include "exp/report.hpp"
-#include "support/string_util.hpp"
-
-int main() {
-  using namespace cvmt;
-  print_banner(std::cout, "Table 2: Workload configurations");
-  emit(std::cout, render_table2());
-
-  const ExperimentConfig cfg = ExperimentConfig::from_env();
-  const auto t1 = run_table1(cfg);
-  TableWriter detail({"Workload", "Thread", "Benchmark", "ILP",
-                      "IPCr (sim)"});
-  for (const Workload& w : table2_workloads()) {
-    for (int t = 0; t < 4; ++t) {
-      const auto& name = w.benchmarks[static_cast<std::size_t>(t)];
-      for (const Table1Row& row : t1)
-        if (row.name == name)
-          detail.add_row({w.ilp_combo, std::to_string(t), name,
-                          std::string(1, row.ilp),
-                          format_fixed(row.sim_ipc_real, 2)});
-    }
-    detail.add_separator();
-  }
-  print_banner(std::cout, "Per-thread detail");
-  emit(std::cout, detail);
-  return 0;
+int main(int argc, char** argv) {
+  return cvmt::run_experiment_main("table2", argc, argv);
 }

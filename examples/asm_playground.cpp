@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "sim/simulation.hpp"
+#include "support/args.hpp"
 #include "support/string_util.hpp"
 #include "trace/vex_asm.hpp"
 
@@ -46,11 +47,23 @@ const char* kWide = R"(
 
 int main(int argc, char** argv) {
   using namespace cvmt;
+  ArgParser args("asm_playground",
+                 "Runs two hand-written VEX-asm kernels through the "
+                 "merging schemes, or dumps a Table 1 benchmark's program "
+                 "in the textual format.");
+  args.add_positional("benchmark",
+                      "Dump this benchmark's program instead of running "
+                      "the built-in kernels.");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
   const MachineConfig machine = MachineConfig::vex4x4();
 
-  if (argc > 1) {
+  if (args.num_positionals() > 0) {
     ProgramLibrary lib(machine);
-    std::cout << dump_program(*lib.get(argv[1]));
+    std::cout << dump_program(*lib.get(args.positional(0)));
     return 0;
   }
 

@@ -2,21 +2,35 @@
 // merge-control hardware and print the area/delay table plus the Pareto
 // frontier (no simulation — pure cost model).
 //
-//   ./cost_explorer [threads]
+//   ./cost_explorer [threads]   (--help for details)
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "cost/scheme_cost.hpp"
+#include "support/args.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace cvmt;
-  const int threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  ArgParser args("cost_explorer",
+                 "Enumerates every cascade scheme for N threads and prints "
+                 "the merge-control area/delay table with the Pareto "
+                 "frontier.");
+  args.add_positional("threads", "Thread count, 2..8 (default 4).");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+  int threads = 4;
+  if (args.num_positionals() > 0) {
+    threads = std::atoi(args.positional(0).c_str());
+  }
   if (threads < 2 || threads > kMaxThreads) {
     std::cerr << "threads must be in [2," << kMaxThreads << "]\n";
-    return 1;
+    return 2;
   }
   const MachineConfig machine = MachineConfig::vex4x4();
 

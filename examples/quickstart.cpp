@@ -2,16 +2,29 @@
 // and compare it against the two extremes. ~20 lines of library use.
 //
 //   ./quickstart [scheme] [workload]
-//   e.g. ./quickstart 2SC3 LLHH
+//   e.g. ./quickstart 2SC3 LLHH        (--help for details)
 #include <iostream>
 
 #include "sim/simulation.hpp"
+#include "support/args.hpp"
+#include "support/check.hpp"
 #include "support/string_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace cvmt;
-  const std::string scheme_name = argc > 1 ? argv[1] : "2SC3";
-  const std::string workload_name = argc > 2 ? argv[2] : "LLHH";
+  ArgParser args("quickstart",
+                 "Simulates one merging scheme on a Table 2 workload and "
+                 "compares it against the pure-CSMT and pure-SMT extremes.");
+  args.add_positional("scheme", "Merging scheme (default 2SC3); paper "
+                                "names or functional syntax.");
+  args.add_positional("workload", "Table 2 ILP combo (default LLHH).");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+  const std::string scheme_name = args.positional_or(0, "2SC3");
+  const std::string workload_name = args.positional_or(1, "LLHH");
 
   // 1. The machine: VEX-like, 4 clusters x 4 issue slots (paper §5.1).
   SimConfig config;
@@ -23,15 +36,24 @@ int main(int argc, char** argv) {
   for (const Workload& w : table2_workloads())
     if (w.ilp_combo == workload_name) workload = &w;
   if (workload == nullptr) {
-    std::cerr << "unknown workload " << workload_name << "\n";
-    return 1;
+    std::cerr << "unknown workload " << workload_name
+              << " (expected a Table 2 ILP combo such as LLHH)\n";
+    return 2;
   }
 
   // 3. Run the chosen scheme plus the two extremes it interpolates.
   for (const std::string& name : {scheme_name, std::string("3CCC"),
                                   std::string("3SSS")}) {
-    const SimResult r =
-        run_workload(Scheme::parse(name), *workload, library, config);
+    Scheme scheme = Scheme::single_thread();
+    try {
+      scheme = Scheme::parse(name);
+    } catch (const CheckError& e) {
+      std::cerr << "bad scheme \"" << name << "\": " << e.what()
+                << "\n(expected a paper name like 2SC3 or functional "
+                   "syntax like CP(S(0,1),2,3); try --help)\n";
+      return 2;
+    }
+    const SimResult r = run_workload(scheme, *workload, library, config);
     std::cout << name << " on " << workload->ilp_combo
               << ": IPC = " << format_fixed(r.ipc, 2) << "  (cycles "
               << format_grouped(static_cast<long long>(r.cycles))

@@ -3,20 +3,41 @@
 // inspect per-merge-block statistics.
 //
 //   ./scheme_explorer "C(CP(S(0,1),2,3),...)" [workload] [budget]
-//   ./scheme_explorer 3SCC MMHH
+//   ./scheme_explorer 3SCC MMHH               (--help for details)
 #include <iostream>
 
 #include "exp/report.hpp"
 #include "sim/simulation.hpp"
+#include "support/args.hpp"
+#include "support/check.hpp"
 #include "support/string_util.hpp"
-#include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace cvmt;
-  const std::string scheme_text = argc > 1 ? argv[1] : "2SC3";
-  const std::string workload_name = argc > 2 ? argv[2] : "LMHH";
+  ArgParser args("scheme_explorer",
+                 "Runs an arbitrary merging scheme (paper name or "
+                 "functional grammar) against a Table 2 workload and "
+                 "prints per-merge-block statistics.");
+  args.add_positional("scheme", "Merging scheme (default 2SC3).");
+  args.add_positional("workload", "Table 2 ILP combo (default LMHH).");
+  args.add_positional("budget", "Instruction budget per thread.");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+  const std::string scheme_text = args.positional_or(0, "2SC3");
+  const std::string workload_name = args.positional_or(1, "LMHH");
 
-  Scheme scheme = Scheme::parse(scheme_text);
+  Scheme scheme = Scheme::single_thread();
+  try {
+    scheme = Scheme::parse(scheme_text);
+  } catch (const CheckError& e) {
+    std::cerr << "bad scheme \"" << scheme_text << "\": " << e.what()
+              << "\n(expected a paper name like 3SCC or functional "
+                 "syntax like S(CP(0,1,2),3); try --help)\n";
+    return 2;
+  }
   std::cout << "scheme " << scheme.name() << " = " << scheme.canonical()
             << "  (" << scheme.num_threads() << " threads, "
             << scheme.count_blocks(MergeKind::kSmt) << " SMT + "
@@ -24,15 +45,23 @@ int main(int argc, char** argv) {
             << " CSMT merge blocks)\n\n";
 
   SimConfig config;
-  if (argc > 3) config.instruction_budget = std::strtoull(argv[3], nullptr,
-                                                          10);
+  if (args.num_positionals() > 2) {
+    const std::string& budget = args.positional(2);
+    config.instruction_budget = std::strtoull(budget.c_str(), nullptr, 10);
+    if (config.instruction_budget == 0) {
+      std::cerr << "bad budget \"" << budget
+                << "\" (expected a positive instruction count)\n";
+      return 2;
+    }
+  }
   ProgramLibrary library(config.machine);
   const Workload* workload = nullptr;
   for (const Workload& w : table2_workloads())
     if (w.ilp_combo == workload_name) workload = &w;
   if (workload == nullptr) {
-    std::cerr << "unknown workload " << workload_name << "\n";
-    return 1;
+    std::cerr << "unknown workload " << workload_name
+              << " (expected a Table 2 ILP combo such as LMHH)\n";
+    return 2;
   }
 
   // An N-thread scheme needs N software threads; reuse the workload list
@@ -68,7 +97,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\nPer-merge-block reject rates (preorder; each block "
                "labelled by its canonical sub-scheme):\n";
-  render_merge_nodes(r.merge_nodes).print(std::cout);
+  render_merge_nodes(r.merge_nodes).to_table().print(std::cout);
 
   std::cout << "\nThreads issued per cycle:\n";
   for (std::size_t k = 0; k < r.issued_per_cycle.num_buckets(); ++k)

@@ -2,17 +2,37 @@
 // the paper's Fig 1 layout, then demonstrate the two merge checks on
 // consecutive instruction pairs from two different benchmarks.
 //
-//   ./trace_inspector [benchmark] [count]
+//   ./trace_inspector [benchmark] [count]   (--help for details)
 #include <iostream>
 
 #include "isa/footprint.hpp"
+#include "support/args.hpp"
 #include "trace/benchmark_suite.hpp"
 #include "trace/trace_generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace cvmt;
-  const std::string name = argc > 1 ? argv[1] : "mcf";
-  const int count = argc > 2 ? std::atoi(argv[2]) : 12;
+  ArgParser args("trace_inspector",
+                 "Dumps a window of a benchmark's dynamic VLIW stream and "
+                 "demonstrates the CSMT/SMT merge checks against a second "
+                 "benchmark.");
+  args.add_positional("benchmark", "Table 1 benchmark name (default mcf).");
+  args.add_positional("count", "Instructions to dump (default 12).");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+  const std::string name = args.positional_or(0, "mcf");
+  int count = 12;
+  if (args.num_positionals() > 1) {
+    count = std::atoi(args.positional(1).c_str());
+    if (count <= 0) {
+      std::cerr << "bad count \"" << args.positional(1)
+                << "\" (expected a positive instruction count)\n";
+      return 2;
+    }
+  }
   const MachineConfig machine = MachineConfig::vex4x4();
 
   ProgramLibrary library(machine);

@@ -2,17 +2,53 @@
 // with Table 1 applications, and see how the merging schemes respond.
 // Demonstrates the BenchmarkProfile API the paper's evaluation is built on.
 //
-//   ./workload_studio [mean_ops] [mem_frac]
+//   ./workload_studio [mean_ops] [mem_frac]   (--help for details)
+#include <cstdlib>
 #include <iostream>
 
 #include "sim/simulation.hpp"
+#include "support/args.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
+namespace {
+
+bool parse_positive(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0' && *out > 0.0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace cvmt;
-  const double mean_ops = argc > 1 ? std::strtod(argv[1], nullptr) : 3.5;
-  const double mem_frac = argc > 2 ? std::strtod(argv[2], nullptr) : 0.3;
+  ArgParser args("workload_studio",
+                 "Builds a custom synthetic benchmark profile and compares "
+                 "how the merging schemes respond to it.");
+  args.add_positional("mean_ops",
+                      "Mean operations per instruction (default 3.5).");
+  args.add_positional("mem_frac",
+                      "Fraction of memory operations (default 0.3).");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+  double mean_ops = 3.5;
+  double mem_frac = 0.3;
+  if (args.num_positionals() > 0 &&
+      !parse_positive(args.positional(0), &mean_ops)) {
+    std::cerr << "bad mean_ops \"" << args.positional(0)
+              << "\" (expected a positive number)\n";
+    return 2;
+  }
+  if (args.num_positionals() > 1 &&
+      !parse_positive(args.positional(1), &mem_frac)) {
+    std::cerr << "bad mem_frac \"" << args.positional(1)
+              << "\" (expected a positive fraction)\n";
+    return 2;
+  }
 
   // A custom application: medium-wide, fairly memory-hungry.
   BenchmarkProfile custom;

@@ -1,0 +1,349 @@
+#include "exp/driver.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace cvmt {
+
+std::string_view to_string(OutputFormat f) {
+  switch (f) {
+    case OutputFormat::kTable: return "table";
+    case OutputFormat::kCsv: return "csv";
+    case OutputFormat::kJson: return "json";
+  }
+  return "?";
+}
+
+namespace {
+
+OutputFormat format_from_string(std::string_view s) {
+  if (s == "table") return OutputFormat::kTable;
+  if (s == "csv") return OutputFormat::kCsv;
+  if (s == "json") return OutputFormat::kJson;
+  CVMT_CHECK_MSG(false, "unknown output format: " + std::string(s));
+  __builtin_unreachable();
+}
+
+void print_table_format(std::ostream& os, const ExperimentResult& result) {
+  for (const ResultSection& s : result.sections) {
+    if (!s.title.empty()) print_banner(os, s.title);
+    os << s.preamble;
+    if (!s.text_only && s.data.num_cols() > 0) emit(os, s.data);
+    os << s.note;
+  }
+}
+
+void print_csv_format(std::ostream& os, const Experiment& experiment,
+                      const ExperimentResult& result) {
+  os << "# experiment: " << experiment.id << '\n';
+  bool first = true;
+  for (const ResultSection& s : result.sections) {
+    if (s.data.num_cols() == 0) continue;
+    if (!first) os << '\n';
+    first = false;
+    if (!s.title.empty()) os << "# section: " << s.title << '\n';
+    s.data.write_csv(os);
+  }
+}
+
+JsonValue params_to_json(const Experiment& experiment,
+                         const ExperimentParams& params) {
+  JsonValue out = JsonValue::object();
+  if (experiment.in_schema(ParamKind::kBudget))
+    out.set("budget", params.cfg.sim.instruction_budget);
+  if (experiment.in_schema(ParamKind::kTimeslice))
+    out.set("timeslice", params.cfg.sim.timeslice_cycles);
+  if (experiment.in_schema(ParamKind::kStats) ||
+      experiment.forces_full_stats) {
+    const bool full = experiment.forces_full_stats ||
+                      params.cfg.sim.stats == StatsLevel::kFull;
+    out.set("stats", full ? "full" : "fast");
+    if (experiment.forces_full_stats) out.set("stats_forced", true);
+  }
+  if (experiment.in_schema(ParamKind::kSchemes)) {
+    JsonValue arr = JsonValue::array();
+    for (const std::string& s : params.schemes) arr.push_back(s);
+    out.set("schemes", std::move(arr));
+  }
+  if (experiment.in_schema(ParamKind::kWorkloads)) {
+    JsonValue arr = JsonValue::array();
+    for (const std::string& w : params.workloads) arr.push_back(w);
+    out.set("workloads", std::move(arr));
+  }
+  if (experiment.in_schema(ParamKind::kMachine)) {
+    JsonValue machine = JsonValue::object();
+    machine.set("clusters", params.cfg.sim.machine.num_clusters);
+    machine.set("issue_per_cluster",
+                params.cfg.sim.machine.issue_per_cluster);
+    out.set("machine", std::move(machine));
+  }
+  // ParamKind::kWorkers is intentionally absent: the worker count is an
+  // execution detail and results are bit-identical for any value, so the
+  // machine-readable output must not depend on it.
+  return out;
+}
+
+}  // namespace
+
+JsonValue result_to_json(const Experiment& experiment,
+                         const ExperimentParams& params,
+                         const ExperimentResult& result) {
+  JsonValue out = JsonValue::object();
+  out.set("id", experiment.id);
+  out.set("artifact", experiment.artifact);
+  out.set("description", experiment.description);
+  out.set("ok", result.ok);
+  out.set("params", params_to_json(experiment, params));
+  JsonValue sections = JsonValue::array();
+  for (const ResultSection& s : result.sections) {
+    if (s.data.num_cols() == 0) continue;
+    JsonValue section = JsonValue::object();
+    if (!s.title.empty()) section.set("title", s.title);
+    const JsonValue data = s.data.to_json();
+    section.set("columns", data.get("columns"));
+    section.set("rows", data.get("rows"));
+    sections.push_back(std::move(section));
+  }
+  out.set("sections", std::move(sections));
+  return out;
+}
+
+void print_result(std::ostream& os, const Experiment& experiment,
+                  const ExperimentParams& params,
+                  const ExperimentResult& result, OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable: print_table_format(os, result); return;
+    case OutputFormat::kCsv:
+      print_csv_format(os, experiment, result);
+      return;
+    case OutputFormat::kJson:
+      result_to_json(experiment, params, result).write(os);
+      os << '\n';
+      return;
+  }
+}
+
+std::string run_to_string(const Experiment& experiment,
+                          const ExperimentParams& params,
+                          OutputFormat format) {
+  const ExperimentResult result = experiment.run(RunContext{params});
+  std::ostringstream os;
+  print_result(os, experiment, params, result, format);
+  return os.str();
+}
+
+namespace {
+
+ParamKind param_kind_of_flag(std::string_view flag) {
+  if (flag == "fast" || flag == "budget") return ParamKind::kBudget;
+  if (flag == "timeslice") return ParamKind::kTimeslice;
+  if (flag == "workers") return ParamKind::kWorkers;
+  if (flag == "stats") return ParamKind::kStats;
+  if (flag == "schemes") return ParamKind::kSchemes;
+  if (flag == "workloads") return ParamKind::kWorkloads;
+  CVMT_CHECK(flag == "clusters" || flag == "issue");
+  return ParamKind::kMachine;
+}
+
+void warn_flags_outside_schema(const Experiment& experiment,
+                               const ArgParser& parser) {
+  for (const std::string& flag : parser.cli_set_names()) {
+    if (flag == "format") continue;
+    if (!experiment.in_schema(param_kind_of_flag(flag)))
+      std::fprintf(stderr,
+                   "cvmt: experiment '%s' does not consume --%s "
+                   "(schema: %s)\n",
+                   experiment.id.c_str(), flag.c_str(),
+                   experiment.schema_summary().c_str());
+  }
+}
+
+void add_format_flag(ArgParser& parser) {
+  parser.add_string("format", "fmt",
+                    "Output format: aligned table, machine-readable CSV, "
+                    "or JSON.",
+                    {}, {"table", "csv", "json"});
+}
+
+/// Runs one experiment end to end; 0/1 exit semantics of the benches.
+int run_and_print(const Experiment& experiment,
+                  const ExperimentParams& params, OutputFormat format) {
+  const ExperimentResult result = experiment.run(RunContext{params});
+  print_result(std::cout, experiment, params, result, format);
+  return result.ok ? 0 : 1;
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage:\n"
+        "  cvmt list [--format=table|csv|json]\n"
+        "      List every registered experiment with its paper artifact\n"
+        "      and declared parameter schema.\n"
+        "  cvmt run <id|all> [--flags] [--format=table|csv|json]\n"
+        "      Run one experiment (or every one) and print its result.\n"
+        "      `cvmt run <id> --help` lists the flags; each layers over\n"
+        "      its CVMT_* environment variable.\n";
+  return code;
+}
+
+Dataset list_dataset() {
+  Dataset d({ColumnSpec::str("Id"), ColumnSpec::str("Artifact"),
+             ColumnSpec::str("Params"), ColumnSpec::str("Description")});
+  for (const Experiment* e : ExperimentRegistry::instance().all())
+    d.add_row({e->id, e->artifact, e->schema_summary(), e->description});
+  return d;
+}
+
+int cvmt_list(int argc, const char* const* argv) {
+  ArgParser parser("cvmt list", "Lists every registered experiment.");
+  add_format_flag(parser);
+  switch (parser.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+  const OutputFormat format =
+      format_from_string(parser.get_string("format", "table"));
+  const Dataset d = list_dataset();
+  switch (format) {
+    case OutputFormat::kTable: d.to_table().print(std::cout); break;
+    case OutputFormat::kCsv: d.write_csv(std::cout); break;
+    case OutputFormat::kJson:
+      d.to_json().write(std::cout);
+      std::cout << '\n';
+      break;
+  }
+  return 0;
+}
+
+int cvmt_run(int argc, const char* const* argv) {
+  ArgParser parser(
+      "cvmt run <id|all>",
+      "Runs experiments from the registry. Every flag layers over its "
+      "CVMT_* environment variable (CLI > env > default).");
+  ExperimentParams::add_standard_flags(parser);
+  add_format_flag(parser);
+
+  // `cvmt run --help` (no id) should reach the parser's help, not be
+  // taken for an experiment id.
+  if (argc < 2 || std::string_view(argv[1]).substr(0, 2) == "--") {
+    if (argc >= 2 && std::string_view(argv[1]) == "--help") {
+      parser.print_help(std::cout);
+      return 0;
+    }
+    std::cerr << "cvmt run: missing experiment id (try `cvmt list` or "
+                 "`cvmt run --help`)\n";
+    return 2;
+  }
+  const std::string_view id = argv[1];
+
+  // Shift off the id so only flags remain.
+  std::vector<const char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  switch (parser.parse(static_cast<int>(rest.size()), rest.data())) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+
+  ExperimentParams params;
+  try {
+    params = ExperimentParams::resolve(parser);
+  } catch (const CheckError& e) {
+    std::cerr << "cvmt run: " << e.what() << '\n';
+    return 2;
+  }
+  const OutputFormat format =
+      format_from_string(parser.get_string("format", "table"));
+
+  if (id == "all") {
+    const auto all = ExperimentRegistry::instance().all();
+    bool ok = true;
+    if (format == OutputFormat::kJson) {
+      JsonValue out = JsonValue::object();
+      out.set("generator", "cvmt");
+      JsonValue results = JsonValue::array();
+      for (const Experiment* e : all) {
+        const ExperimentResult r = e->run(RunContext{params});
+        ok = ok && r.ok;
+        results.push_back(result_to_json(*e, params, r));
+      }
+      out.set("results", std::move(results));
+      out.write(std::cout);
+      std::cout << '\n';
+    } else {
+      bool first = true;
+      for (const Experiment* e : all) {
+        if (!first && format == OutputFormat::kCsv) std::cout << '\n';
+        first = false;
+        const ExperimentResult r = e->run(RunContext{params});
+        ok = ok && r.ok;
+        print_result(std::cout, *e, params, r, format);
+      }
+    }
+    return ok ? 0 : 1;
+  }
+
+  const Experiment* experiment = ExperimentRegistry::instance().find(id);
+  if (experiment == nullptr) {
+    std::cerr << "cvmt run: unknown experiment '" << id
+              << "' (try `cvmt list`)\n";
+    return 2;
+  }
+  warn_flags_outside_schema(*experiment, parser);
+  return run_and_print(*experiment, params, format);
+}
+
+}  // namespace
+
+int run_experiment_main(std::string_view id, int argc,
+                        const char* const* argv) {
+  const Experiment* experiment = ExperimentRegistry::instance().find(id);
+  CVMT_CHECK_MSG(experiment != nullptr,
+                 "experiment not registered: " + std::string(id) +
+                     " (is the cvmt_exp object library linked?)");
+
+  ArgParser parser(
+      "bench " + std::string(id),
+      experiment->description +
+          "\nEquivalent to `cvmt run " + std::string(id) +
+          "`; every flag layers over its CVMT_* environment variable.");
+  ExperimentParams::add_standard_flags(parser);
+  add_format_flag(parser);
+  switch (parser.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+
+  ExperimentParams params;
+  try {
+    params = ExperimentParams::resolve(parser);
+  } catch (const CheckError& e) {
+    std::cerr << "bench " << id << ": " << e.what() << '\n';
+    return 2;
+  }
+  warn_flags_outside_schema(*experiment, parser);
+  return run_and_print(*experiment, params,
+                       format_from_string(parser.get_string("format",
+                                                            "table")));
+}
+
+int cvmt_main(int argc, const char* const* argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string_view command = argv[1];
+  if (command == "list") return cvmt_list(argc - 1, argv + 1);
+  if (command == "run") return cvmt_run(argc - 1, argv + 1);
+  if (command == "help" || command == "--help" || command == "-h")
+    return usage(std::cout, 0);
+  std::cerr << "cvmt: unknown command '" << command << "'\n";
+  return usage(std::cerr, 2);
+}
+
+}  // namespace cvmt

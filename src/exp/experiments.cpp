@@ -1,42 +1,17 @@
 #include "exp/experiments.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <limits>
 
+#include "exp/params.hpp"
 #include "support/check.hpp"
-#include "support/env.hpp"
 
 namespace cvmt {
 
 ExperimentConfig ExperimentConfig::from_env() {
-  ExperimentConfig cfg;
-  if (env_u64("CVMT_FAST", 0) != 0) {
-    cfg.sim.instruction_budget = 60'000;
-    cfg.sim.timeslice_cycles = 10'000;
-  }
-  cfg.sim.instruction_budget =
-      env_u64("CVMT_BUDGET", cfg.sim.instruction_budget);
-  cfg.sim.timeslice_cycles =
-      env_u64("CVMT_TIMESLICE", cfg.sim.timeslice_cycles);
-  constexpr std::uint64_t kMaxWorkers =
-      std::numeric_limits<unsigned>::max();
-  cfg.batch.workers = static_cast<unsigned>(
-      std::min(env_u64("CVMT_WORKERS", 0), kMaxWorkers));
-  // The paper sweeps only consume IPC, so merge-stat accounting defaults
-  // off here (library SimConfig default stays kFull). Runners that read
-  // node stats (e.g. bench_merge_efficiency) force kFull on their copy.
-  cfg.sim.stats = StatsLevel::kFast;
-  const std::string stats = env_word("CVMT_STATS", "fast");
-  if (stats == "full") {
-    cfg.sim.stats = StatsLevel::kFull;
-  } else if (stats != "fast") {
-    std::fprintf(stderr,
-                 "cvmt: ignoring CVMT_STATS=\"%s\" (expected full or "
-                 "fast); using fast\n",
-                 stats.c_str());
-  }
-  return cfg;
+  // One resolution path for env and CLI: this is ExperimentParams'
+  // environment-only layer (exp/params.cpp), which also owns the
+  // CVMT_STATS validation and the kFast default for sweeps.
+  return ExperimentParams::from_env().cfg;
 }
 
 std::vector<Table1Row> run_table1(const ExperimentConfig& cfg) {
@@ -106,8 +81,26 @@ std::vector<Fig5Row> run_fig5(const MachineConfig& machine, int min_threads,
   return rows;
 }
 
-std::vector<Fig6Row> run_fig6(const ExperimentConfig& cfg) {
-  const auto& workloads = table2_workloads();
+namespace {
+
+/// The Table 2 rows selected by `filter` (empty = all), in Table 2 order.
+std::vector<Workload> filtered_workloads(
+    const std::vector<std::string>& filter) {
+  std::vector<Workload> out;
+  for (const Workload& w : table2_workloads()) {
+    bool keep = filter.empty();
+    for (const std::string& name : filter) keep = keep || w.ilp_combo == name;
+    if (keep) out.push_back(w);
+  }
+  CVMT_CHECK_MSG(!out.empty(), "workload filter selected nothing");
+  return out;
+}
+
+}  // namespace
+
+std::vector<Fig6Row> run_fig6(const ExperimentConfig& cfg,
+                              const std::vector<std::string>& filter) {
+  const std::vector<Workload> workloads = filtered_workloads(filter);
   const Scheme smt = Scheme::parse("3SSS");
   const Scheme csmt = Scheme::parse("3CCC");
 
@@ -158,8 +151,21 @@ double Fig10Result::average_of(std::string_view scheme) const {
 }
 
 Fig10Result run_fig10(const ExperimentConfig& cfg) {
-  const auto& workloads = table2_workloads();
-  const std::vector<Scheme> schemes = Scheme::paper_schemes_4t();
+  return run_fig10(cfg, {}, {});
+}
+
+Fig10Result run_fig10(const ExperimentConfig& cfg,
+                      const std::vector<std::string>& scheme_filter,
+                      const std::vector<std::string>& workload_filter) {
+  const std::vector<Workload> workloads =
+      filtered_workloads(workload_filter);
+  std::vector<Scheme> schemes;
+  if (scheme_filter.empty()) {
+    schemes = Scheme::paper_schemes_4t();
+  } else {
+    for (const std::string& name : scheme_filter)
+      schemes.push_back(Scheme::parse(name));
+  }
 
   Fig10Result r;
   for (const Scheme& s : schemes) r.schemes.push_back(s.name());

@@ -14,6 +14,11 @@
 
 namespace cvmt {
 
+/// The CVMT_FAST=1 / --fast smoke-test scale, shared by env and CLI
+/// resolution (see ExperimentParams in exp/params.hpp).
+inline constexpr std::uint64_t kFastInstructionBudget = 60'000;
+inline constexpr std::uint64_t kFastTimesliceCycles = 10'000;
+
 /// Common configuration for all simulation-backed experiments.
 struct ExperimentConfig {
   SimConfig sim;
@@ -67,8 +72,11 @@ struct Fig6Row {
   double smt_ipc = 0, csmt_ipc = 0;
   double advantage_pct = 0;  ///< 100*(smt-csmt)/csmt
 };
-/// 4-thread SMT (3SSS) vs 4-thread CSMT (3CCC) per workload.
-[[nodiscard]] std::vector<Fig6Row> run_fig6(const ExperimentConfig& cfg);
+/// 4-thread SMT (3SSS) vs 4-thread CSMT (3CCC) per workload. A non-empty
+/// `workloads` filter restricts the Table 2 rows.
+[[nodiscard]] std::vector<Fig6Row> run_fig6(
+    const ExperimentConfig& cfg,
+    const std::vector<std::string>& workloads = {});
 
 // ------------------------------------------------------------------ Fig 9
 struct Fig9Row {
@@ -95,6 +103,14 @@ struct Fig10Result {
 };
 /// Full 9-workload x 16-scheme performance matrix.
 [[nodiscard]] Fig10Result run_fig10(const ExperimentConfig& cfg);
+
+/// Filtered Fig 10 grid: empty `schemes` / `workloads` mean the full
+/// paper sets (scheme names are parsed with Scheme::parse; workload names
+/// must be Table 2 ILP combos). Used by the registry's --schemes and
+/// --workloads knobs.
+[[nodiscard]] Fig10Result run_fig10(
+    const ExperimentConfig& cfg, const std::vector<std::string>& schemes,
+    const std::vector<std::string>& workloads);
 
 // ------------------------------------------------------------- Fig 11/12
 struct ParetoPoint {

@@ -1,0 +1,136 @@
+#include "exp/params.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "core/scheme.hpp"
+#include "support/check.hpp"
+#include "support/env.hpp"
+#include "support/string_util.hpp"
+#include "trace/benchmark_suite.hpp"
+
+namespace cvmt {
+
+const char* to_string(ParamKind k) {
+  switch (k) {
+    case ParamKind::kBudget: return "budget";
+    case ParamKind::kTimeslice: return "timeslice";
+    case ParamKind::kWorkers: return "workers";
+    case ParamKind::kStats: return "stats";
+    case ParamKind::kSchemes: return "schemes";
+    case ParamKind::kWorkloads: return "workloads";
+    case ParamKind::kMachine: return "machine";
+  }
+  return "?";
+}
+
+void ExperimentParams::add_standard_flags(ArgParser& parser) {
+  parser.add_flag("fast", "Smoke-test scale (small budget and timeslice).",
+                  "CVMT_FAST");
+  parser.add_u64("budget", "instrs", "Instruction budget per thread.",
+                 "CVMT_BUDGET");
+  parser.add_u64("timeslice", "cycles", "OS timeslice in cycles.",
+                 "CVMT_TIMESLICE");
+  parser.add_u64("workers", "n",
+                 "Batch-runner worker threads (0 = all hardware cores); "
+                 "results are bit-identical for any count.",
+                 "CVMT_WORKERS");
+  parser.add_string("stats", "level",
+                    "Merge-statistics accounting for the sweeps.",
+                    "CVMT_STATS", {"full", "fast"});
+  parser.add_string("schemes", "a,b,...",
+                    "Restrict to these schemes (paper names or functional "
+                    "syntax).",
+                    "CVMT_SCHEMES");
+  parser.add_string("workloads", "a,b,...",
+                    "Restrict to these Table 2 workloads (ILP combos).",
+                    "CVMT_WORKLOADS");
+  parser.add_u64("clusters", "n",
+                 "Machine shape: cluster count (with --issue; default "
+                 "machine is the paper's 4x4 VEX).",
+                 "CVMT_CLUSTERS");
+  parser.add_u64("issue", "n", "Machine shape: issue width per cluster.",
+                 "CVMT_ISSUE");
+}
+
+namespace {
+
+std::vector<std::string> parse_list(const std::string& csv) {
+  std::vector<std::string> out;
+  for (const std::string& item : split(csv, ',')) {
+    const std::string_view trimmed = trim(item);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentParams ExperimentParams::resolve(const ArgParser& parser) {
+  ExperimentParams p;
+
+  // Layers 1+2: defaults, then the fast scale (flag or CVMT_FAST).
+  p.fast = parser.get_flag("fast");
+  if (p.fast) {
+    p.cfg.sim.instruction_budget = kFastInstructionBudget;
+    p.cfg.sim.timeslice_cycles = kFastTimesliceCycles;
+  }
+  // Layers 3+4: get_u64 resolves CLI over env over the current value.
+  p.cfg.sim.instruction_budget =
+      parser.get_u64("budget", p.cfg.sim.instruction_budget);
+  p.cfg.sim.timeslice_cycles =
+      parser.get_u64("timeslice", p.cfg.sim.timeslice_cycles);
+
+  constexpr std::uint64_t kMaxWorkers = std::numeric_limits<unsigned>::max();
+  p.cfg.batch.workers = static_cast<unsigned>(
+      std::min(parser.get_u64("workers", 0), kMaxWorkers));
+
+  // Stats: the experiment layer's sweeps are pure-IPC, so the resolved
+  // default is kFast (the library SimConfig default stays kFull). A bad
+  // --stats value was already rejected by the parser's choices; a bad
+  // CVMT_STATS value warns here and falls back.
+  p.cfg.sim.stats = StatsLevel::kFast;
+  const std::string stats = parser.get_string("stats", "fast");
+  if (stats == "full") {
+    p.cfg.sim.stats = StatsLevel::kFull;
+  } else if (stats != "fast") {
+    std::fprintf(stderr,
+                 "cvmt: ignoring CVMT_STATS=\"%s\" (expected full or "
+                 "fast); using fast\n",
+                 stats.c_str());
+  }
+
+  // Machine shape: only override the paper's vex4x4 when asked.
+  const std::uint64_t clusters = parser.get_u64("clusters", 0);
+  const std::uint64_t issue = parser.get_u64("issue", 0);
+  if (clusters != 0 || issue != 0) {
+    p.cfg.sim.machine =
+        MachineConfig::clustered(static_cast<int>(clusters ? clusters : 4),
+                                 static_cast<int>(issue ? issue : 4));
+  }
+
+  // Filters, validated eagerly so a typo fails before hours of sweep.
+  p.schemes = parse_list(parser.get_string("schemes", ""));
+  for (const std::string& s : p.schemes) (void)Scheme::parse(s);
+  p.workloads = parse_list(parser.get_string("workloads", ""));
+  for (const std::string& w : p.workloads) {
+    bool known = false;
+    for (const Workload& t2 : table2_workloads())
+      known = known || t2.ilp_combo == w;
+    CVMT_CHECK_MSG(known, "unknown workload \"" + w +
+                              "\" (expected a Table 2 ILP combo such as "
+                              "LLHH)");
+  }
+  return p;
+}
+
+ExperimentParams ExperimentParams::from_env() {
+  ArgParser parser("cvmt", "");
+  add_standard_flags(parser);
+  const char* argv[] = {"cvmt"};
+  CVMT_CHECK(parser.parse(1, argv) == ArgParser::Outcome::kOk);
+  return resolve(parser);
+}
+
+}  // namespace cvmt

@@ -1,0 +1,58 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+
+bool Experiment::in_schema(ParamKind k) const {
+  for (const ParamKind s : schema)
+    if (s == k) return true;
+  return false;
+}
+
+std::string Experiment::schema_summary() const {
+  std::string out;
+  for (const ParamKind k : schema) {
+    if (!out.empty()) out += ',';
+    out += to_string(k);
+  }
+  if (forces_full_stats) out += out.empty() ? "stats=full" : " (stats=full)";
+  return out.empty() ? "-" : out;
+}
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(Experiment e) {
+  CVMT_CHECK_MSG(!e.id.empty(), "experiment id must not be empty");
+  CVMT_CHECK_MSG(static_cast<bool>(e.run),
+                 "experiment '" + e.id + "' has no run function");
+  CVMT_CHECK_MSG(find(e.id) == nullptr,
+                 "duplicate experiment id: " + e.id);
+  experiments_.push_back(std::move(e));
+}
+
+const Experiment* ExperimentRegistry::find(std::string_view id) const {
+  for (const Experiment& e : experiments_)
+    if (e.id == id) return &e;
+  return nullptr;
+}
+
+std::vector<const Experiment*> ExperimentRegistry::all() const {
+  std::vector<const Experiment*> out;
+  out.reserve(experiments_.size());
+  for (const Experiment& e : experiments_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const Experiment* a, const Experiment* b) {
+              if (a->sort_key != b->sort_key)
+                return a->sort_key < b->sort_key;
+              return a->id < b->id;
+            });
+  return out;
+}
+
+}  // namespace cvmt

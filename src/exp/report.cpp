@@ -8,99 +8,123 @@
 namespace cvmt {
 namespace {
 std::string fx(double v, int d = 2) { return format_fixed(v, d); }
+
+Cell i64(std::uint64_t v) {
+  return Cell{static_cast<std::int64_t>(v)};
+}
+
 }  // namespace
 
-TableWriter render_table1(const std::vector<Table1Row>& rows) {
-  TableWriter t({"Benchmark", "ILP", "IPCr(paper)", "IPCr(sim)",
-                 "IPCp(paper)", "IPCp(sim)"});
+Dataset render_table1(const std::vector<Table1Row>& rows) {
+  Dataset d({ColumnSpec::str("Benchmark"), ColumnSpec::str("ILP"),
+             ColumnSpec::real("IPCr(paper)"), ColumnSpec::real("IPCr(sim)"),
+             ColumnSpec::real("IPCp(paper)"),
+             ColumnSpec::real("IPCp(sim)")});
   for (const auto& r : rows)
-    t.add_row({r.name, std::string(1, r.ilp), fx(r.paper_ipc_real),
-               fx(r.sim_ipc_real), fx(r.paper_ipc_perfect),
-               fx(r.sim_ipc_perfect)});
-  return t;
+    d.add_row({r.name, std::string(1, r.ilp), r.paper_ipc_real,
+               r.sim_ipc_real, r.paper_ipc_perfect, r.sim_ipc_perfect});
+  return d;
 }
 
-TableWriter render_table2() {
-  TableWriter t({"ILP Comb", "Thread 0", "Thread 1", "Thread 2",
-                 "Thread 3"});
+Dataset render_table2() {
+  Dataset d({ColumnSpec::str("ILP Comb"), ColumnSpec::str("Thread 0"),
+             ColumnSpec::str("Thread 1"), ColumnSpec::str("Thread 2"),
+             ColumnSpec::str("Thread 3")});
   for (const Workload& w : table2_workloads())
-    t.add_row({w.ilp_combo, w.benchmarks[0], w.benchmarks[1],
+    d.add_row({w.ilp_combo, w.benchmarks[0], w.benchmarks[1],
                w.benchmarks[2], w.benchmarks[3]});
-  return t;
+  return d;
 }
 
-TableWriter render_fig4(const std::vector<Fig4Row>& rows) {
-  TableWriter t({"Processor", "Avg IPC"});
-  for (const auto& r : rows) t.add_row({r.processor, fx(r.avg_ipc)});
-  return t;
+Dataset render_fig4(const std::vector<Fig4Row>& rows) {
+  Dataset d({ColumnSpec::str("Processor"), ColumnSpec::real("Avg IPC")});
+  for (const auto& r : rows) d.add_row({r.processor, r.avg_ipc});
+  return d;
 }
 
-TableWriter render_fig5(const std::vector<Fig5Row>& rows) {
-  TableWriter t({"Threads", "CSMT SL trans", "CSMT PL trans", "SMT trans",
-                 "CSMT SL delay", "CSMT PL delay", "SMT delay"});
+Dataset render_fig5(const std::vector<Fig5Row>& rows) {
+  Dataset d({ColumnSpec::integer("Threads"),
+             ColumnSpec::integer("CSMT SL trans", /*grouped=*/true),
+             ColumnSpec::integer("CSMT PL trans", /*grouped=*/true),
+             ColumnSpec::integer("SMT trans", /*grouped=*/true),
+             ColumnSpec::real("CSMT SL delay", 1),
+             ColumnSpec::real("CSMT PL delay", 1),
+             ColumnSpec::real("SMT delay", 1)});
   for (const auto& r : rows)
-    t.add_row({std::to_string(r.threads),
-               format_grouped(r.csmt_serial.transistors),
-               format_grouped(r.csmt_parallel.transistors),
-               format_grouped(r.smt.transistors), fx(r.csmt_serial.delay, 1),
-               fx(r.csmt_parallel.delay, 1), fx(r.smt.delay, 1)});
-  return t;
+    d.add_row({Cell{static_cast<std::int64_t>(r.threads)},
+               Cell{r.csmt_serial.transistors},
+               Cell{r.csmt_parallel.transistors}, Cell{r.smt.transistors},
+               r.csmt_serial.delay, r.csmt_parallel.delay, r.smt.delay});
+  return d;
 }
 
-TableWriter render_fig6(const std::vector<Fig6Row>& rows) {
-  TableWriter t({"Workload", "SMT IPC", "CSMT IPC", "SMT advantage %"});
+Dataset render_fig6(const std::vector<Fig6Row>& rows) {
+  Dataset d({ColumnSpec::str("Workload"), ColumnSpec::real("SMT IPC"),
+             ColumnSpec::real("CSMT IPC"),
+             ColumnSpec::real("SMT advantage %", 1)});
   double sum = 0.0;
   for (const auto& r : rows) {
-    t.add_row({r.workload, fx(r.smt_ipc), fx(r.csmt_ipc),
-               fx(r.advantage_pct, 1)});
+    d.add_row({r.workload, r.smt_ipc, r.csmt_ipc, r.advantage_pct});
     sum += r.advantage_pct;
   }
-  t.add_separator();
-  t.add_row({"Average", "", "",
-             fx(sum / static_cast<double>(rows.size()), 1)});
-  return t;
+  d.add_separator();
+  d.add_row({std::string("Average"), std::monostate{}, std::monostate{},
+             sum / static_cast<double>(rows.size())});
+  return d;
 }
 
-TableWriter render_fig9(const std::vector<Fig9Row>& rows) {
-  TableWriter t({"Scheme", "Gate delays", "Transistors"});
+Dataset render_fig9(const std::vector<Fig9Row>& rows) {
+  Dataset d({ColumnSpec::str("Scheme"), ColumnSpec::real("Gate delays", 1),
+             ColumnSpec::integer("Transistors", /*grouped=*/true)});
   for (const auto& r : rows)
-    t.add_row({r.scheme, fx(r.gate_delay, 1),
-               format_grouped(r.transistors)});
-  return t;
+    d.add_row({r.scheme, r.gate_delay, Cell{r.transistors}});
+  return d;
 }
 
-TableWriter render_fig10(const Fig10Result& result) {
-  std::vector<std::string> header{"Workload"};
-  for (const auto& s : result.schemes) header.push_back(s);
-  TableWriter t(std::move(header));
+Dataset render_fig10(const Fig10Result& result) {
+  std::vector<ColumnSpec> columns{ColumnSpec::str("Workload")};
+  for (const auto& s : result.schemes) columns.push_back(ColumnSpec::real(s));
+  Dataset d(std::move(columns));
   for (std::size_t w = 0; w < result.workloads.size(); ++w) {
-    std::vector<std::string> row{result.workloads[w]};
-    for (double v : result.ipc[w]) row.push_back(fx(v));
-    t.add_row(std::move(row));
+    std::vector<Cell> row{result.workloads[w]};
+    for (double v : result.ipc[w]) row.emplace_back(v);
+    d.add_row(std::move(row));
   }
-  t.add_separator();
-  std::vector<std::string> avg{"Average"};
-  for (double v : result.average) avg.push_back(fx(v));
-  t.add_row(std::move(avg));
-  return t;
+  d.add_separator();
+  std::vector<Cell> avg{std::string("Average")};
+  for (double v : result.average) avg.emplace_back(v);
+  d.add_row(std::move(avg));
+  return d;
 }
 
-TableWriter render_pareto(const std::vector<ParetoPoint>& points) {
-  TableWriter t({"Scheme", "Avg IPC", "Transistors", "Gate delays"});
+Dataset render_pareto(const std::vector<ParetoPoint>& points) {
+  Dataset d({ColumnSpec::str("Scheme"), ColumnSpec::real("Avg IPC"),
+             ColumnSpec::integer("Transistors", /*grouped=*/true),
+             ColumnSpec::real("Gate delays", 1)});
   for (const auto& p : points)
-    t.add_row({p.scheme, fx(p.avg_ipc), format_grouped(p.transistors),
-               fx(p.gate_delay, 1)});
-  return t;
+    d.add_row({p.scheme, p.avg_ipc, Cell{p.transistors}, p.gate_delay});
+  return d;
 }
 
-TableWriter render_merge_nodes(const std::vector<MergeNodeStats>& nodes) {
-  TableWriter t({"Sub-scheme", "Kind", "Attempts", "Rejects", "Reject %"});
+Dataset render_merge_nodes(const std::vector<MergeNodeStats>& nodes) {
+  Dataset d({ColumnSpec::str("Sub-scheme"), ColumnSpec::str("Kind"),
+             ColumnSpec::integer("Attempts", /*grouped=*/true),
+             ColumnSpec::integer("Rejects", /*grouped=*/true),
+             ColumnSpec::real("Reject %", 1)});
   for (const auto& n : nodes)
-    t.add_row({n.label, std::string(1, to_char(n.kind)),
-               format_grouped(static_cast<long long>(n.attempts)),
-               format_grouped(static_cast<long long>(n.rejects)),
-               fx(100.0 * n.reject_rate(), 1)});
-  return t;
+    d.add_row({n.label, std::string(1, to_char(n.kind)), i64(n.attempts),
+               i64(n.rejects), 100.0 * n.reject_rate()});
+  return d;
+}
+
+Dataset render_headlines(const HeadlineRelations& h) {
+  Dataset d({ColumnSpec::str("Relation"), ColumnSpec::real("Simulated %", 1),
+             ColumnSpec::real("Paper %", 0)});
+  d.add_row({std::string("2SC3 vs 3CCC"), h.sc3_vs_csmt_pct, 14.0});
+  d.add_row({std::string("2SC3 vs 1S"), h.sc3_vs_1s_pct, 45.0});
+  d.add_row({std::string("2SC3 vs 3SSS"), h.sc3_vs_smt4_pct, -11.0});
+  d.add_row({std::string("3SSS vs 1S"), h.smt4_vs_1s_pct, 61.0});
+  return d;
 }
 
 void print_headlines(std::ostream& os, const HeadlineRelations& h) {
@@ -119,6 +143,17 @@ void emit(std::ostream& os, const TableWriter& table) {
   if (const char* csv = std::getenv("CVMT_CSV"); csv && *csv == '1') {
     os << "\n[csv]\n";
     table.print_csv(os);
+  }
+}
+
+void emit(std::ostream& os, const Dataset& data) {
+  data.to_table().print(os);
+  if (const char* csv = std::getenv("CVMT_CSV"); csv && *csv == '1') {
+    // Unlike the legacy TableWriter path, the Dataset CSV is properly
+    // quoted and full-precision: thousands-grouped cells such as
+    // "13,128" would otherwise split into two columns.
+    os << "\n[csv]\n";
+    data.write_csv(os);
   }
 }
 

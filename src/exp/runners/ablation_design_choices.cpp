@@ -1,0 +1,85 @@
+// Ablations of the simulator design choices called out in DESIGN.md:
+//   * priority policy (round-robin rotation vs fixed priority),
+//   * DCache miss handling (serialized vs overlapped),
+//   * cache sharing (shared vs per-thread private),
+//   * tree-atomicity (what the paper's tree schemes give up).
+// Each ablation reruns a representative scheme on all workloads.
+#include "exp/runners/common.hpp"
+
+namespace cvmt {
+namespace {
+
+ExperimentResult run(const RunContext& ctx) {
+  const ExperimentConfig& cfg = ctx.params.cfg;
+
+  struct Cell_ {
+    const char* ablation;
+    const char* setting;
+    const char* scheme;
+    SimConfig sim;
+  };
+  std::vector<Cell_> cells;
+  for (const char* scheme_name : {"3CCC", "2SC3", "3SSS"}) {
+    SimConfig rr = cfg.sim;
+    rr.priority = PriorityPolicy::kRoundRobin;
+    SimConfig fx = cfg.sim;
+    fx.priority = PriorityPolicy::kFixed;
+    cells.push_back({"priority", "round-robin", scheme_name, rr});
+    cells.push_back({"priority", "fixed", scheme_name, fx});
+
+    SimConfig ser = cfg.sim;
+    ser.miss_policy = MissPolicy::kSerialized;
+    SimConfig ovl = cfg.sim;
+    ovl.miss_policy = MissPolicy::kOverlapped;
+    cells.push_back({"miss policy", "serialized", scheme_name, ser});
+    cells.push_back({"miss policy", "overlapped", scheme_name, ovl});
+
+    SimConfig shared = cfg.sim;
+    SimConfig priv = cfg.sim;
+    priv.mem.sharing = CacheSharing::kPrivate;
+    cells.push_back({"caches", "shared", scheme_name, shared});
+    cells.push_back({"caches", "private", scheme_name, priv});
+  }
+  // Tree atomicity: 2CC versus the cascade 3CCC (the cascade is the
+  // "fallback" hardware that re-tries group members individually).
+  const std::size_t kSchemeGroupCells = 6;  // separator after each group
+  cells.push_back(
+      {"tree atomicity", "atomic groups (2CC)", "2CC", cfg.sim});
+  cells.push_back(
+      {"tree atomicity", "per-thread cascade (3CCC)", "3CCC", cfg.sim});
+
+  // One batch for the whole table: cell c, workload w at c*W+w.
+  const auto& wls = table2_workloads();
+  std::vector<BatchJob> jobs;
+  jobs.reserve(cells.size() * wls.size());
+  for (const Cell_& c : cells)
+    for (const Workload& w : wls)
+      jobs.push_back(make_job(Scheme::parse(c.scheme), w, c.sim));
+  const std::vector<double> avg =
+      group_averages(run_batch_ipc(jobs, cfg.batch), wls.size());
+
+  Dataset t({ColumnSpec::str("Ablation"), ColumnSpec::str("Setting"),
+             ColumnSpec::str("Scheme"), ColumnSpec::real("Avg IPC", 3)});
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    t.add_row({std::string(cells[c].ablation),
+               std::string(cells[c].setting), std::string(cells[c].scheme),
+               avg[c]});
+    if ((c + 1) % kSchemeGroupCells == 0 && c + 2 < cells.size())
+      t.add_separator();
+  }
+  return runners::one_section("Ablation: simulator design choices",
+                              std::move(t));
+}
+
+const RegisterExperiment reg{{
+    .id = "design-choices",
+    .artifact = "extension",
+    .description = "Priority / miss-policy / cache-sharing / "
+                   "tree-atomicity simulator ablations.",
+    .schema = runners::sim_schema(),
+    .sort_key = 220,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,25 @@
+// Internal helpers shared by the experiment runner files in this
+// directory. Not part of the experiment API surface.
+#pragma once
+
+#include <string_view>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "trace/benchmark_suite.hpp"
+
+namespace cvmt::runners {
+
+/// The Table 2 workload named `name`; throws CheckError when unknown.
+[[nodiscard]] const Workload& workload_by_name(std::string_view name);
+
+/// One-section result (the common single-table experiment shape).
+[[nodiscard]] ExperimentResult one_section(std::string title, Dataset data,
+                                           std::string note = {},
+                                           std::string preamble = {});
+
+/// The standard schema of a simulation-backed sweep: budget, timeslice,
+/// workers, stats and machine shape.
+[[nodiscard]] std::vector<ParamKind> sim_schema();
+
+}  // namespace cvmt::runners

@@ -1,0 +1,91 @@
+// Fig 10: IPC of every merging scheme on every Table 2 workload, plus the
+// workload average, the paper's grouped legend view and the conclusion's
+// headline relations. Honours --schemes/--workloads filters (the grouped
+// and headline sections need the full paper sets and are skipped under a
+// filter).
+#include <sstream>
+
+#include "exp/runners/common.hpp"
+#include "support/string_util.hpp"
+
+namespace cvmt {
+namespace {
+
+/// The paper's legend groups, in its bottom-to-top order.
+const std::vector<std::vector<std::string>>& legend_groups() {
+  static const std::vector<std::vector<std::string>> kGroups = {
+      {"1S"},
+      {"3CCC", "C4"},
+      {"2CC"},
+      {"2CS"},
+      {"2SC3", "2C3S", "3CCS", "3CSC", "3SCC"},
+      {"3CSS", "3SSC", "3SCS"},
+      {"2SC"},
+      {"2SS"},
+      {"3SSS"},
+  };
+  return kGroups;
+}
+
+ExperimentResult run(const RunContext& ctx) {
+  const Fig10Result f =
+      run_fig10(ctx.params.cfg, ctx.params.schemes, ctx.params.workloads);
+
+  ExperimentResult result;
+  {
+    ResultSection s;
+    s.title = "Figure 10: merging schemes performance (IPC)";
+    s.data = render_fig10(f);
+    result.sections.push_back(std::move(s));
+  }
+  if (!ctx.params.schemes.empty() || !ctx.params.workloads.empty())
+    return result;
+
+  // Grouped view as in the paper's legend.
+  Dataset grouped({ColumnSpec::str("Group"), ColumnSpec::real("Avg IPC")});
+  for (const auto& group : legend_groups()) {
+    double sum = 0.0;
+    std::string label;
+    for (const auto& s : group) {
+      sum += f.average_of(s);
+      label += (label.empty() ? "" : ",") + s;
+    }
+    grouped.add_row({std::move(label),
+                     sum / static_cast<double>(group.size())});
+  }
+  {
+    ResultSection s;
+    s.title = "Grouped (paper legend)";
+    s.data = std::move(grouped);
+    result.sections.push_back(std::move(s));
+  }
+
+  const HeadlineRelations h = headline_relations(f);
+  std::ostringstream prose;
+  print_headlines(prose, h);
+  ResultSection s;
+  s.title = "Headline relations";
+  s.data = render_headlines(h);
+  s.note = prose.str();
+  s.text_only = true;
+  result.sections.push_back(std::move(s));
+  return result;
+}
+
+const RegisterExperiment reg{{
+    .id = "fig10",
+    .artifact = "Figure 10",
+    .description = "The full 16-scheme x 9-workload IPC grid with legend "
+                   "groups and headline relations.",
+    .schema = [] {
+      auto s = runners::sim_schema();
+      s.push_back(ParamKind::kSchemes);
+      s.push_back(ParamKind::kWorkloads);
+      return s;
+    }(),
+    .sort_key = 70,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,39 @@
+// Fig 11: average performance vs transistors incurred for all schemes
+// (scatter points printed as rows, sorted by transistor count).
+#include <algorithm>
+
+#include "exp/runners/common.hpp"
+
+namespace cvmt {
+namespace {
+
+ExperimentResult run(const RunContext& ctx) {
+  const Fig10Result f =
+      run_fig10(ctx.params.cfg, ctx.params.schemes, ctx.params.workloads);
+  auto points = pareto_points(f, ctx.params.cfg.sim.machine);
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.transistors < b.transistors;
+            });
+  return runners::one_section(
+      "Figure 11: performance vs transistors incurred",
+      render_pareto(points));
+}
+
+const RegisterExperiment reg{{
+    .id = "fig11",
+    .artifact = "Figure 11",
+    .description = "Pareto view: average IPC vs merge-control transistor "
+                   "cost.",
+    .schema = [] {
+      auto s = runners::sim_schema();
+      s.push_back(ParamKind::kSchemes);
+      s.push_back(ParamKind::kWorkloads);
+      return s;
+    }(),
+    .sort_key = 80,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace cvmt

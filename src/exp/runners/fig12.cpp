@@ -1,0 +1,38 @@
+// Fig 12: average performance vs merge-control gate delays for all
+// schemes (scatter points printed as rows, sorted by delay).
+#include <algorithm>
+
+#include "exp/runners/common.hpp"
+
+namespace cvmt {
+namespace {
+
+ExperimentResult run(const RunContext& ctx) {
+  const Fig10Result f =
+      run_fig10(ctx.params.cfg, ctx.params.schemes, ctx.params.workloads);
+  auto points = pareto_points(f, ctx.params.cfg.sim.machine);
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.gate_delay < b.gate_delay;
+            });
+  return runners::one_section("Figure 12: performance vs gate delays",
+                              render_pareto(points));
+}
+
+const RegisterExperiment reg{{
+    .id = "fig12",
+    .artifact = "Figure 12",
+    .description = "Pareto view: average IPC vs merge-control gate-delay "
+                   "cost.",
+    .schema = [] {
+      auto s = runners::sim_schema();
+      s.push_back(ParamKind::kSchemes);
+      s.push_back(ParamKind::kWorkloads);
+      return s;
+    }(),
+    .sort_key = 90,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace cvmt

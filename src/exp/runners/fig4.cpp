@@ -1,0 +1,32 @@
+// Fig 4: average IPC of the single-thread, 2-thread SMT and 4-thread SMT
+// processors over the Table 2 workloads. The paper reports a 61%
+// advantage of 4-thread over 2-thread SMT.
+#include "exp/runners/common.hpp"
+#include "support/string_util.hpp"
+
+namespace cvmt {
+namespace {
+
+ExperimentResult run(const RunContext& ctx) {
+  const auto rows = run_fig4(ctx.params.cfg);
+  std::string note;
+  if (rows.size() == 3 && rows[1].avg_ipc > 0.0)
+    note = "\n4-thread vs 2-thread gain: " +
+           format_fixed(percent_diff(rows[2].avg_ipc, rows[1].avg_ipc), 1) +
+           "% (paper: 61%)\n";
+  return runners::one_section(
+      "Figure 4: SMT performance vs hardware threads", render_fig4(rows),
+      std::move(note));
+}
+
+const RegisterExperiment reg{{
+    .id = "fig4",
+    .artifact = "Figure 4",
+    .description = "SMT average IPC scaling over 1/2/4 hardware threads.",
+    .schema = runners::sim_schema(),
+    .sort_key = 30,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,31 @@
+// Fig 5: thread-merge-control cost (transistors, gate delays) for CSMT
+// serial, CSMT parallel and SMT designs, for 2..8 threads. Pure cost
+// model, no simulation.
+#include "exp/runners/common.hpp"
+
+namespace cvmt {
+namespace {
+
+ExperimentResult run(const RunContext& ctx) {
+  return runners::one_section(
+      "Figure 5: merge control cost vs number of threads (4-cluster, "
+      "4-issue/cluster)",
+      render_fig5(run_fig5(ctx.params.cfg.sim.machine)),
+      "\nShape checks (paper Sec. 3):\n"
+      "  * SMT cost explodes with threads (limits SMT to 2)\n"
+      "  * CSMT serial stays linear in both metrics\n"
+      "  * CSMT parallel: flat delay, exponential area\n");
+}
+
+const RegisterExperiment reg{{
+    .id = "fig5",
+    .artifact = "Figure 5",
+    .description = "Merge-control hardware cost vs thread count (cost "
+                   "model only).",
+    .schema = {ParamKind::kMachine},
+    .sort_key = 40,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,28 @@
+// Table 1: the benchmark set with single-thread IPC under real memory
+// (IPCr) and perfect memory (IPCp), paper targets side by side.
+#include "exp/runners/common.hpp"
+
+namespace cvmt {
+namespace {
+
+ExperimentResult run(const RunContext& ctx) {
+  return runners::one_section(
+      "Table 1: Benchmarks (single-thread IPCr / IPCp, 4-cluster 4-issue "
+      "VEX)",
+      render_table1(run_table1(ctx.params.cfg)), /*note=*/{},
+      "instruction budget per thread: " +
+          std::to_string(ctx.params.cfg.sim.instruction_budget) + "\n\n");
+}
+
+const RegisterExperiment reg{{
+    .id = "table1",
+    .artifact = "Table 1",
+    .description = "Single-thread IPCr/IPCp calibration of the 12 "
+                   "benchmark profiles.",
+    .schema = runners::sim_schema(),
+    .sort_key = 10,
+    .run = run,
+}};
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,114 @@
+// Command-line flag parser shared by the cvmt driver, the bench shims and
+// the examples. Each option may name a CVMT_* environment variable; values
+// then resolve in layers:
+//
+//   CLI flag  >  environment variable  >  built-in default
+//
+// A malformed CLI value is a hard error (parse() fails with a message on
+// stderr); a malformed environment value only warns and falls back, per
+// the env.hpp contract — the user typed the flag just now, but the
+// variable may be ambient from an unrelated shell.
+//
+// Syntax: --name=value or --name value; bool flags take no value
+// (--name); "--" ends flag parsing; everything else is positional.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cvmt {
+
+class ArgParser {
+ public:
+  enum class Outcome : std::uint8_t {
+    kOk,
+    kHelp,   ///< --help was given; help text already printed
+    kError,  ///< malformed input; message already printed to stderr
+  };
+
+  /// `program` and `description` head the --help text.
+  ArgParser(std::string program, std::string description);
+
+  // Option declarations. `env` (optional) names the environment variable
+  // the option layers over; it appears in the --help text.
+  void add_flag(std::string name, std::string help, std::string env = {});
+  void add_u64(std::string name, std::string value_name, std::string help,
+               std::string env = {});
+  void add_double(std::string name, std::string value_name,
+                  std::string help);
+  /// `choices` non-empty restricts CLI values (error otherwise).
+  void add_string(std::string name, std::string value_name,
+                  std::string help, std::string env = {},
+                  std::vector<std::string> choices = {});
+  /// Positional parameter, shown in the usage line as [name].
+  void add_positional(std::string name, std::string help);
+
+  /// Parses argv. On kError a diagnostic (and a pointer to --help) has
+  /// been printed to stderr; on kHelp the help text went to stdout.
+  [[nodiscard]] Outcome parse(int argc, const char* const* argv);
+
+  /// True when the option was explicitly set on the command line.
+  [[nodiscard]] bool set_on_cli(std::string_view name) const;
+
+  // Layered getters: CLI > env > fallback. get_flag treats a non-zero
+  // numeric environment value as true.
+  [[nodiscard]] bool get_flag(std::string_view name) const;
+  [[nodiscard]] std::uint64_t get_u64(std::string_view name,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string_view fallback) const;
+
+  [[nodiscard]] std::size_t num_positionals() const {
+    return positionals_.size();
+  }
+  [[nodiscard]] const std::string& positional(std::size_t i) const;
+  [[nodiscard]] std::string positional_or(std::size_t i,
+                                          std::string_view fallback) const;
+
+  /// Names of options explicitly set on the CLI (used by the driver to
+  /// warn about flags an experiment's schema does not consume).
+  [[nodiscard]] std::vector<std::string> cli_set_names() const;
+
+  void print_help(std::ostream& os) const;
+
+ private:
+  enum class OptKind : std::uint8_t { kFlag, kU64, kDouble, kString };
+
+  struct Option {
+    std::string name;
+    std::string value_name;
+    std::string help;
+    std::string env;
+    std::vector<std::string> choices;
+    OptKind kind = OptKind::kFlag;
+    bool set = false;
+    bool flag_value = false;
+    std::uint64_t u64_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  struct PositionalSpec {
+    std::string name;
+    std::string help;
+  };
+
+  [[nodiscard]] Option* find(std::string_view name);
+  [[nodiscard]] const Option* find(std::string_view name) const;
+  [[nodiscard]] const Option& require(std::string_view name,
+                                      OptKind kind) const;
+  bool apply_value(Option& opt, std::string_view value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  std::vector<PositionalSpec> positional_specs_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace cvmt

@@ -1,0 +1,370 @@
+#include "support/dataset.hpp"
+
+#include <array>
+#include <charconv>
+#include <ostream>
+
+#include "support/check.hpp"
+#include "support/string_util.hpp"
+
+namespace cvmt {
+
+std::string_view to_string(ColumnType t) {
+  switch (t) {
+    case ColumnType::kString: return "string";
+    case ColumnType::kReal: return "real";
+    case ColumnType::kInt: return "int";
+  }
+  return "?";
+}
+
+ColumnType column_type_from_string(std::string_view s) {
+  if (s == "string") return ColumnType::kString;
+  if (s == "real") return ColumnType::kReal;
+  if (s == "int") return ColumnType::kInt;
+  CVMT_CHECK_MSG(false, "unknown column type: " + std::string(s));
+  __builtin_unreachable();
+}
+
+ColumnSpec ColumnSpec::str(std::string name) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.type = ColumnType::kString;
+  return c;
+}
+
+ColumnSpec ColumnSpec::real(std::string name, int decimals,
+                            std::string suffix) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.type = ColumnType::kReal;
+  c.decimals = decimals;
+  c.suffix = std::move(suffix);
+  return c;
+}
+
+ColumnSpec ColumnSpec::integer(std::string name, bool grouped) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.type = ColumnType::kInt;
+  c.grouped = grouped;
+  return c;
+}
+
+Dataset::Dataset(std::vector<ColumnSpec> columns)
+    : columns_(std::move(columns)) {
+  CVMT_CHECK_MSG(!columns_.empty(), "Dataset needs at least one column");
+}
+
+std::size_t Dataset::num_rows() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_)
+    if (!row.empty()) ++n;
+  return n;
+}
+
+std::size_t Dataset::col_index(std::string_view name) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    if (columns_[c].name == name) return c;
+  CVMT_CHECK_MSG(false, "unknown Dataset column: " + std::string(name));
+  __builtin_unreachable();
+}
+
+void Dataset::add_row(std::vector<Cell> cells) {
+  CVMT_CHECK_MSG(cells.size() == columns_.size(),
+                 "row width must match the declared columns");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    if (std::holds_alternative<std::monostate>(cell)) continue;
+    const ColumnType t = columns_[c].type;
+    const bool ok =
+        (t == ColumnType::kString &&
+         std::holds_alternative<std::string>(cell)) ||
+        (t == ColumnType::kReal && std::holds_alternative<double>(cell)) ||
+        (t == ColumnType::kInt &&
+         std::holds_alternative<std::int64_t>(cell));
+    CVMT_CHECK_MSG(ok, "cell type does not match column '" +
+                           columns_[c].name + "'");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Dataset::add_separator() { rows_.emplace_back(); }
+
+const Cell& Dataset::cell(std::size_t row, std::size_t col) const {
+  CVMT_CHECK(col < columns_.size());
+  std::size_t n = 0;
+  for (const auto& r : rows_) {
+    if (r.empty()) continue;
+    if (n == row) return r[col];
+    ++n;
+  }
+  CVMT_CHECK_MSG(false, "Dataset row index out of range");
+  __builtin_unreachable();
+}
+
+double Dataset::real_at(std::size_t row, std::size_t col) const {
+  return std::get<double>(cell(row, col));
+}
+
+std::int64_t Dataset::int_at(std::size_t row, std::size_t col) const {
+  return std::get<std::int64_t>(cell(row, col));
+}
+
+const std::string& Dataset::str_at(std::size_t row, std::size_t col) const {
+  return std::get<std::string>(cell(row, col));
+}
+
+namespace {
+
+std::string format_typed(const ColumnSpec& spec, const Cell& cell) {
+  if (std::holds_alternative<std::monostate>(cell)) return spec.null_text;
+  std::string text;
+  switch (spec.type) {
+    case ColumnType::kString: text = std::get<std::string>(cell); break;
+    case ColumnType::kReal:
+      text = format_fixed(std::get<double>(cell), spec.decimals);
+      break;
+    case ColumnType::kInt: {
+      const std::int64_t v = std::get<std::int64_t>(cell);
+      text = spec.grouped ? format_grouped(v) : std::to_string(v);
+      break;
+    }
+  }
+  return text + spec.suffix;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string round_trip_real(double d) {
+  std::array<char, 32> buf{};
+  const auto [end, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  CVMT_CHECK(ec == std::errc());
+  return std::string(buf.data(), static_cast<std::size_t>(end - buf.data()));
+}
+
+}  // namespace
+
+std::string Dataset::format_cell(std::size_t row, std::size_t col) const {
+  return format_typed(columns_[col], cell(row, col));
+}
+
+TableWriter Dataset::to_table() const {
+  std::vector<std::string> header;
+  header.reserve(columns_.size());
+  for (const ColumnSpec& c : columns_) header.push_back(c.name);
+  TableWriter t(std::move(header));
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      t.add_separator();
+      continue;
+    }
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+      cells.push_back(format_typed(columns_[c], row[c]));
+    t.add_row(std::move(cells));
+  }
+  return t;
+}
+
+void Dataset::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c].name);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      const Cell& cell = row[c];
+      if (std::holds_alternative<std::monostate>(cell)) continue;
+      switch (columns_[c].type) {
+        case ColumnType::kString:
+          os << csv_escape(std::get<std::string>(cell));
+          break;
+        case ColumnType::kReal:
+          os << round_trip_real(std::get<double>(cell));
+          break;
+        case ColumnType::kInt: os << std::get<std::int64_t>(cell); break;
+      }
+    }
+    os << '\n';
+  }
+}
+
+Dataset Dataset::from_csv(std::vector<ColumnSpec> columns,
+                          std::string_view text) {
+  // Minimal CSV reader for write_csv output: quoted fields may contain
+  // commas/newlines; "" inside quotes is a literal quote.
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool line_has_content = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      line_has_content = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      line_has_content = true;
+    } else if (c == '\n') {
+      if (line_has_content || !field.empty()) {
+        fields.push_back(std::move(field));
+        records.push_back(std::move(fields));
+      }
+      field.clear();
+      fields.clear();
+      line_has_content = false;
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  CVMT_CHECK_MSG(!in_quotes, "unterminated quoted CSV field");
+  if (line_has_content || !field.empty()) {
+    fields.push_back(std::move(field));
+    records.push_back(std::move(fields));
+  }
+  CVMT_CHECK_MSG(!records.empty(), "CSV text has no header row");
+
+  Dataset ds(std::move(columns));
+  CVMT_CHECK_MSG(records.front().size() == ds.columns_.size(),
+                 "CSV header width does not match the declared columns");
+  for (std::size_t c = 0; c < ds.columns_.size(); ++c)
+    CVMT_CHECK_MSG(records.front()[c] == ds.columns_[c].name,
+                   "CSV header mismatch at column " + std::to_string(c));
+
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    const auto& rec = records[r];
+    CVMT_CHECK_MSG(rec.size() == ds.columns_.size(),
+                   "CSV row width mismatch at row " + std::to_string(r));
+    std::vector<Cell> cells;
+    cells.reserve(rec.size());
+    for (std::size_t c = 0; c < rec.size(); ++c) {
+      const std::string& f = rec[c];
+      switch (ds.columns_[c].type) {
+        case ColumnType::kString: cells.emplace_back(f); break;
+        case ColumnType::kReal: {
+          if (f.empty()) {
+            cells.emplace_back(std::monostate{});
+            break;
+          }
+          double d = 0.0;
+          const auto [p, ec] =
+              std::from_chars(f.data(), f.data() + f.size(), d);
+          CVMT_CHECK_MSG(ec == std::errc() && p == f.data() + f.size(),
+                         "bad real CSV field: " + f);
+          cells.emplace_back(d);
+          break;
+        }
+        case ColumnType::kInt: {
+          if (f.empty()) {
+            cells.emplace_back(std::monostate{});
+            break;
+          }
+          std::int64_t i = 0;
+          const auto [p, ec] =
+              std::from_chars(f.data(), f.data() + f.size(), i);
+          CVMT_CHECK_MSG(ec == std::errc() && p == f.data() + f.size(),
+                         "bad integer CSV field: " + f);
+          cells.emplace_back(i);
+          break;
+        }
+      }
+    }
+    ds.add_row(std::move(cells));
+  }
+  return ds;
+}
+
+JsonValue Dataset::to_json() const {
+  JsonValue cols = JsonValue::array();
+  for (const ColumnSpec& c : columns_) {
+    JsonValue col = JsonValue::object();
+    col.set("name", c.name);
+    col.set("type", to_string(c.type));
+    cols.push_back(std::move(col));
+  }
+  JsonValue rows = JsonValue::array();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    JsonValue jrow = JsonValue::array();
+    for (const Cell& cell : row) {
+      if (std::holds_alternative<std::monostate>(cell))
+        jrow.push_back(JsonValue());
+      else if (const auto* s = std::get_if<std::string>(&cell))
+        jrow.push_back(*s);
+      else if (const auto* d = std::get_if<double>(&cell))
+        jrow.push_back(*d);
+      else
+        jrow.push_back(std::get<std::int64_t>(cell));
+    }
+    rows.push_back(std::move(jrow));
+  }
+  JsonValue out = JsonValue::object();
+  out.set("columns", std::move(cols));
+  out.set("rows", std::move(rows));
+  return out;
+}
+
+Dataset Dataset::from_json(const JsonValue& v) {
+  const JsonValue& cols = v.get("columns");
+  std::vector<ColumnSpec> specs;
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    ColumnSpec spec;
+    spec.name = cols.at(c).get("name").as_string();
+    spec.type = column_type_from_string(cols.at(c).get("type").as_string());
+    specs.push_back(std::move(spec));
+  }
+  Dataset ds(std::move(specs));
+  const JsonValue& rows = v.get("rows");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const JsonValue& jrow = rows.at(r);
+    CVMT_CHECK_MSG(jrow.size() == ds.columns_.size(),
+                   "JSON row width mismatch at row " + std::to_string(r));
+    std::vector<Cell> cells;
+    for (std::size_t c = 0; c < jrow.size(); ++c) {
+      const JsonValue& jc = jrow.at(c);
+      if (jc.is_null()) {
+        cells.emplace_back(std::monostate{});
+        continue;
+      }
+      switch (ds.columns_[c].type) {
+        case ColumnType::kString: cells.emplace_back(jc.as_string()); break;
+        case ColumnType::kReal: cells.emplace_back(jc.as_double()); break;
+        case ColumnType::kInt: cells.emplace_back(jc.as_int()); break;
+      }
+    }
+    ds.add_row(std::move(cells));
+  }
+  return ds;
+}
+
+}  // namespace cvmt

@@ -1,0 +1,165 @@
+// ArgParser: flag parsing, CLI-over-env layering, positionals, help and
+// bad-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/args.hpp"
+#include "support/check.hpp"
+
+namespace cvmt {
+namespace {
+
+class ArgsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("CVMT_TEST_U64");
+    ::unsetenv("CVMT_TEST_FLAG");
+    ::unsetenv("CVMT_TEST_WORD");
+  }
+
+  static ArgParser make() {
+    ArgParser p("prog", "Test program.");
+    p.add_flag("verbose", "Be chatty.", "CVMT_TEST_FLAG");
+    p.add_u64("budget", "n", "Budget.", "CVMT_TEST_U64");
+    p.add_double("scale", "x", "Scale factor.");
+    p.add_string("stats", "level", "Stats level.", "CVMT_TEST_WORD",
+                 {"full", "fast"});
+    p.add_positional("scheme", "Scheme name.");
+    p.add_positional("workload", "Workload name.");
+    return p;
+  }
+
+  static ArgParser::Outcome parse(ArgParser& p,
+                                  std::initializer_list<const char*> args) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return p.parse(static_cast<int>(argv.size()), argv.data());
+  }
+};
+
+TEST_F(ArgsTest, DefaultsWhenNothingGiven) {
+  ArgParser p = make();
+  ASSERT_EQ(parse(p, {}), ArgParser::Outcome::kOk);
+  EXPECT_FALSE(p.get_flag("verbose"));
+  EXPECT_EQ(p.get_u64("budget", 42), 42u);
+  EXPECT_DOUBLE_EQ(p.get_double("scale", 1.5), 1.5);
+  EXPECT_EQ(p.get_string("stats", "fast"), "fast");
+  EXPECT_EQ(p.num_positionals(), 0u);
+  EXPECT_EQ(p.positional_or(0, "dflt"), "dflt");
+}
+
+TEST_F(ArgsTest, CliValuesBothSyntaxes) {
+  ArgParser p = make();
+  ASSERT_EQ(parse(p, {"--budget=123", "--scale", "2.5", "--verbose"}),
+            ArgParser::Outcome::kOk);
+  EXPECT_EQ(p.get_u64("budget", 0), 123u);
+  EXPECT_DOUBLE_EQ(p.get_double("scale", 0.0), 2.5);
+  EXPECT_TRUE(p.get_flag("verbose"));
+  EXPECT_TRUE(p.set_on_cli("budget"));
+  EXPECT_FALSE(p.set_on_cli("stats"));
+}
+
+TEST_F(ArgsTest, EnvLayersUnderCli) {
+  ::setenv("CVMT_TEST_U64", "777", 1);
+  ::setenv("CVMT_TEST_FLAG", "1", 1);
+  ::setenv("CVMT_TEST_WORD", "full", 1);
+  {
+    ArgParser p = make();
+    ASSERT_EQ(parse(p, {}), ArgParser::Outcome::kOk);
+    // Env supplies values when the CLI is silent...
+    EXPECT_EQ(p.get_u64("budget", 0), 777u);
+    EXPECT_TRUE(p.get_flag("verbose"));
+    EXPECT_EQ(p.get_string("stats", "fast"), "full");
+  }
+  {
+    ArgParser p = make();
+    ASSERT_EQ(parse(p, {"--budget=1", "--stats=fast"}),
+              ArgParser::Outcome::kOk);
+    // ...and the CLI wins when both are present.
+    EXPECT_EQ(p.get_u64("budget", 0), 1u);
+    EXPECT_EQ(p.get_string("stats", "full"), "fast");
+  }
+}
+
+TEST_F(ArgsTest, MalformedEnvWarnsAndFallsBack) {
+  ::setenv("CVMT_TEST_U64", "12abc", 1);
+  ArgParser p = make();
+  ASSERT_EQ(parse(p, {}), ArgParser::Outcome::kOk);
+  EXPECT_EQ(p.get_u64("budget", 55), 55u);  // env rejected, fallback used
+}
+
+TEST_F(ArgsTest, MalformedCliIsAHardError) {
+  {
+    ArgParser p = make();
+    EXPECT_EQ(parse(p, {"--budget=12abc"}), ArgParser::Outcome::kError);
+  }
+  {
+    ArgParser p = make();
+    EXPECT_EQ(parse(p, {"--scale=two"}), ArgParser::Outcome::kError);
+  }
+  {
+    ArgParser p = make();
+    EXPECT_EQ(parse(p, {"--stats=sometimes"}), ArgParser::Outcome::kError);
+  }
+  {
+    ArgParser p = make();
+    EXPECT_EQ(parse(p, {"--budget"}), ArgParser::Outcome::kError);
+  }
+  {
+    ArgParser p = make();
+    EXPECT_EQ(parse(p, {"--verbose=1"}), ArgParser::Outcome::kError);
+  }
+  {
+    ArgParser p = make();
+    EXPECT_EQ(parse(p, {"--no-such-flag"}), ArgParser::Outcome::kError);
+  }
+}
+
+TEST_F(ArgsTest, PositionalsAndDoubleDash) {
+  ArgParser p = make();
+  ASSERT_EQ(parse(p, {"2SC3", "--verbose", "--", "--LLHH"}),
+            ArgParser::Outcome::kOk);
+  ASSERT_EQ(p.num_positionals(), 2u);
+  EXPECT_EQ(p.positional(0), "2SC3");
+  EXPECT_EQ(p.positional(1), "--LLHH");  // after --, flags are positional
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST_F(ArgsTest, TooManyPositionalsRejected) {
+  ArgParser p = make();
+  EXPECT_EQ(parse(p, {"a", "b", "c"}), ArgParser::Outcome::kError);
+}
+
+TEST_F(ArgsTest, HelpListsOptionsEnvAndPositionals) {
+  ArgParser p = make();
+  std::ostringstream os;
+  p.print_help(os);
+  const std::string help = os.str();
+  EXPECT_NE(help.find("usage: prog"), std::string::npos);
+  EXPECT_NE(help.find("--budget=<n>"), std::string::npos);
+  EXPECT_NE(help.find("[env: CVMT_TEST_U64]"), std::string::npos);
+  EXPECT_NE(help.find("one of: full fast"), std::string::npos);
+  EXPECT_NE(help.find("scheme"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST_F(ArgsTest, CliSetNamesTracksExplicitFlags) {
+  ArgParser p = make();
+  ASSERT_EQ(parse(p, {"--verbose", "--budget=9"}), ArgParser::Outcome::kOk);
+  const auto names = p.cli_set_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "verbose");
+  EXPECT_EQ(names[1], "budget");
+}
+
+TEST_F(ArgsTest, UndeclaredOptionQueriesThrow) {
+  ArgParser p = make();
+  ASSERT_EQ(parse(p, {}), ArgParser::Outcome::kOk);
+  EXPECT_THROW((void)p.get_u64("nope", 0), CheckError);
+  EXPECT_THROW((void)p.get_flag("budget"), CheckError);  // kind mismatch
+}
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,145 @@
+// Dataset: column typing, table formatting hints, CSV/JSON round trips
+// and bad-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/dataset.hpp"
+
+namespace cvmt {
+namespace {
+
+Dataset sample() {
+  Dataset d({ColumnSpec::str("Scheme"), ColumnSpec::real("IPC"),
+             ColumnSpec::integer("Transistors", /*grouped=*/true),
+             ColumnSpec::real("Gain", 1, "%")});
+  d.add_row({std::string("2SC3"), 5.2375, Cell{std::int64_t{4'384}}, 14.5});
+  d.add_separator();
+  d.add_row({std::string("3SSS"), 5.98, Cell{std::int64_t{13'128}},
+             std::monostate{}});
+  return d;
+}
+
+TEST(Dataset, ColumnTypingIsEnforced) {
+  Dataset d({ColumnSpec::str("a"), ColumnSpec::real("b"),
+             ColumnSpec::integer("c")});
+  // Width mismatch.
+  EXPECT_THROW(d.add_row({std::string("x"), 1.0}), CheckError);
+  // Type mismatch per column.
+  EXPECT_THROW(d.add_row({1.0, 1.0, Cell{std::int64_t{1}}}), CheckError);
+  EXPECT_THROW(
+      d.add_row({std::string("x"), Cell{std::int64_t{1}}, Cell{std::int64_t{1}}}),
+      CheckError);
+  EXPECT_THROW(d.add_row({std::string("x"), 1.0, 2.0}), CheckError);
+  // Null is allowed anywhere.
+  d.add_row({std::monostate{}, std::monostate{}, std::monostate{}});
+  EXPECT_EQ(d.num_rows(), 1u);
+}
+
+TEST(Dataset, AccessorsAndColIndex) {
+  const Dataset d = sample();
+  EXPECT_EQ(d.num_rows(), 2u);  // separator not counted
+  EXPECT_EQ(d.num_cols(), 4u);
+  EXPECT_EQ(d.col_index("Transistors"), 2u);
+  EXPECT_THROW((void)d.col_index("nope"), CheckError);
+  EXPECT_EQ(d.str_at(0, 0), "2SC3");
+  EXPECT_DOUBLE_EQ(d.real_at(0, 1), 5.2375);
+  EXPECT_EQ(d.int_at(1, 2), 13'128);
+  EXPECT_THROW((void)d.cell(2, 0), CheckError);
+}
+
+TEST(Dataset, TableFormattingHonoursHints) {
+  const Dataset d = sample();
+  EXPECT_EQ(d.format_cell(0, 1), "5.24");    // real, 2 decimals
+  EXPECT_EQ(d.format_cell(0, 2), "4,384");   // grouped int
+  EXPECT_EQ(d.format_cell(0, 3), "14.5%");   // suffix
+  EXPECT_EQ(d.format_cell(1, 3), "");        // null renders empty
+  std::ostringstream os;
+  d.to_table().print(os);
+  EXPECT_NE(os.str().find("| 2SC3"), std::string::npos);
+  EXPECT_NE(os.str().find("4,384"), std::string::npos);
+}
+
+TEST(Dataset, NullTextIsPerColumn) {
+  ColumnSpec c = ColumnSpec::real("x", 1);
+  c.null_text = "-";
+  Dataset d({c});
+  d.add_row({std::monostate{}});
+  EXPECT_EQ(d.format_cell(0, 0), "-");
+}
+
+TEST(Dataset, CsvRoundTripIsExact) {
+  const Dataset d = sample();
+  std::ostringstream os;
+  d.write_csv(os);
+  // CSV uses round-trip precision, not the 2-decimal table format.
+  EXPECT_NE(os.str().find("5.2375"), std::string::npos);
+  // Grouping/suffix hints stay out of machine-readable output.
+  EXPECT_EQ(os.str().find("4,384"), std::string::npos);
+
+  const Dataset back = Dataset::from_csv(d.columns(), os.str());
+  ASSERT_EQ(back.num_rows(), d.num_rows());
+  EXPECT_EQ(back.str_at(0, 0), "2SC3");
+  EXPECT_DOUBLE_EQ(back.real_at(0, 1), 5.2375);
+  EXPECT_EQ(back.int_at(1, 2), 13'128);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(back.cell(1, 3)));
+}
+
+TEST(Dataset, CsvQuotesSpecialCharacters) {
+  Dataset d({ColumnSpec::str("a"), ColumnSpec::str("b")});
+  d.add_row({std::string("x,y"), std::string("say \"hi\"\nthere")});
+  std::ostringstream os;
+  d.write_csv(os);
+  const Dataset back = Dataset::from_csv(d.columns(), os.str());
+  ASSERT_EQ(back.num_rows(), 1u);
+  EXPECT_EQ(back.str_at(0, 0), "x,y");
+  EXPECT_EQ(back.str_at(0, 1), "say \"hi\"\nthere");
+}
+
+TEST(Dataset, CsvRejectsBadInput) {
+  const std::vector<ColumnSpec> cols{ColumnSpec::str("a"),
+                                     ColumnSpec::real("b")};
+  EXPECT_THROW((void)Dataset::from_csv(cols, ""), CheckError);
+  EXPECT_THROW((void)Dataset::from_csv(cols, "wrong,b\n"), CheckError);
+  EXPECT_THROW((void)Dataset::from_csv(cols, "a,b\nx\n"), CheckError);
+  EXPECT_THROW((void)Dataset::from_csv(cols, "a,b\nx,notanumber\n"),
+               CheckError);
+  EXPECT_THROW((void)Dataset::from_csv(cols, "a,b\n\"unterminated,1\n"),
+               CheckError);
+}
+
+TEST(Dataset, JsonRoundTripPreservesCellsAndTypes) {
+  const Dataset d = sample();
+  const JsonValue j = d.to_json();
+  EXPECT_EQ(j.get("columns").at(1).get("type").as_string(), "real");
+  EXPECT_EQ(j.get("columns").at(2).get("type").as_string(), "int");
+  // Through text and back.
+  const Dataset back = Dataset::from_json(JsonValue::parse(j.dump()));
+  ASSERT_EQ(back.num_rows(), 2u);  // separators are dropped in JSON
+  EXPECT_EQ(back.columns()[0].type, ColumnType::kString);
+  EXPECT_EQ(back.columns()[1].type, ColumnType::kReal);
+  EXPECT_EQ(back.columns()[2].type, ColumnType::kInt);
+  EXPECT_DOUBLE_EQ(back.real_at(0, 1), 5.2375);
+  EXPECT_EQ(back.int_at(1, 2), 13'128);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(back.cell(1, 3)));
+}
+
+TEST(Dataset, JsonRejectsRowWidthMismatch) {
+  const char* wide =
+      R"({"columns":[{"name":"a","type":"int"}],"rows":[[1,2]]})";
+  EXPECT_THROW((void)Dataset::from_json(JsonValue::parse(wide)),
+               CheckError);
+  const char* narrow =
+      R"({"columns":[{"name":"a","type":"int"},)"
+      R"({"name":"b","type":"int"}],"rows":[[1]]})";
+  EXPECT_THROW((void)Dataset::from_json(JsonValue::parse(narrow)),
+               CheckError);
+}
+
+TEST(Dataset, EmptyColumnsRejected) {
+  EXPECT_THROW(Dataset(std::vector<ColumnSpec>{}), CheckError);
+}
+
+}  // namespace
+}  // namespace cvmt

@@ -1,0 +1,171 @@
+// The cvmt driver: output formats, parameter resolution layering and the
+// golden-stability contract — `cvmt run fig10 --format=json` is
+// byte-identical for any batch-runner worker count under fixed seeds.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exp/driver.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace cvmt {
+namespace {
+
+ExperimentParams tiny(unsigned workers) {
+  ExperimentParams p;
+  p.cfg.sim.instruction_budget = 10'000;
+  p.cfg.sim.timeslice_cycles = 2'500;
+  p.cfg.batch.workers = workers;
+  return p;
+}
+
+const Experiment& get(const char* id) {
+  const Experiment* e = ExperimentRegistry::instance().find(id);
+  CVMT_CHECK_MSG(e != nullptr, std::string("missing experiment: ") + id);
+  return *e;
+}
+
+// The determinism contract at the new API boundary: the batch runner's
+// results are bit-identical for any worker count, and the JSON emitter
+// deliberately excludes the worker count, so the rendered bytes match.
+TEST(Driver, Fig10JsonIsByteIdenticalAcrossWorkerCounts) {
+  const Experiment& fig10 = get("fig10");
+  const std::string serial =
+      run_to_string(fig10, tiny(1), OutputFormat::kJson);
+  const std::string parallel =
+      run_to_string(fig10, tiny(8), OutputFormat::kJson);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);  // byte-identical, workers=1 vs workers=8
+  // And the bytes are valid JSON with the expected shape.
+  const JsonValue v = JsonValue::parse(serial);
+  EXPECT_EQ(v.get("id").as_string(), "fig10");
+  EXPECT_TRUE(v.get("ok").as_bool());
+  EXPECT_EQ(v.get("params").find("workers"), nullptr);
+  EXPECT_GE(v.get("sections").size(), 3u);
+}
+
+TEST(Driver, TableAndCsvAreAlsoWorkerInvariant) {
+  const Experiment& fig4 = get("fig4");
+  EXPECT_EQ(run_to_string(fig4, tiny(1), OutputFormat::kTable),
+            run_to_string(fig4, tiny(8), OutputFormat::kTable));
+  EXPECT_EQ(run_to_string(fig4, tiny(1), OutputFormat::kCsv),
+            run_to_string(fig4, tiny(8), OutputFormat::kCsv));
+}
+
+TEST(Driver, TableFormatCarriesBannerAndNotes) {
+  const std::string out =
+      run_to_string(get("fig4"), tiny(0), OutputFormat::kTable);
+  EXPECT_NE(out.find("== Figure 4"), std::string::npos);
+  EXPECT_NE(out.find("Avg IPC"), std::string::npos);
+  EXPECT_NE(out.find("paper: 61%"), std::string::npos);
+}
+
+TEST(Driver, CsvFormatIsCommentedPerSection) {
+  const std::string out =
+      run_to_string(get("table2"), tiny(0), OutputFormat::kCsv);
+  EXPECT_NE(out.find("# experiment: table2"), std::string::npos);
+  EXPECT_NE(out.find("# section: Per-thread detail"), std::string::npos);
+  EXPECT_NE(out.find("ILP Comb,Thread 0"), std::string::npos);
+}
+
+TEST(Driver, JsonParamsReflectSchemaAndForcedStats) {
+  const JsonValue cost = JsonValue::parse(
+      run_to_string(get("fig9"), tiny(0), OutputFormat::kJson));
+  // Cost-only experiment: machine is in the schema, budget is not.
+  EXPECT_NE(cost.get("params").find("machine"), nullptr);
+  EXPECT_EQ(cost.get("params").find("budget"), nullptr);
+
+  const JsonValue me = JsonValue::parse(
+      run_to_string(get("merge-efficiency"), tiny(0), OutputFormat::kJson));
+  EXPECT_EQ(me.get("params").get("stats").as_string(), "full");
+  EXPECT_TRUE(me.get("params").get("stats_forced").as_bool());
+}
+
+TEST(Driver, ParamResolutionLayersCliOverEnv) {
+  ::setenv("CVMT_BUDGET", "111", 1);
+  ::setenv("CVMT_STATS", "full", 1);
+  {
+    ArgParser parser("t", "");
+    ExperimentParams::add_standard_flags(parser);
+    const char* argv[] = {"t"};
+    ASSERT_EQ(parser.parse(1, argv), ArgParser::Outcome::kOk);
+    const ExperimentParams p = ExperimentParams::resolve(parser);
+    EXPECT_EQ(p.cfg.sim.instruction_budget, 111u);
+    EXPECT_EQ(p.cfg.sim.stats, StatsLevel::kFull);
+  }
+  {
+    ArgParser parser("t", "");
+    ExperimentParams::add_standard_flags(parser);
+    const char* argv[] = {"t", "--budget=222", "--stats=fast",
+                          "--workers=3"};
+    ASSERT_EQ(parser.parse(4, argv), ArgParser::Outcome::kOk);
+    const ExperimentParams p = ExperimentParams::resolve(parser);
+    EXPECT_EQ(p.cfg.sim.instruction_budget, 222u);
+    EXPECT_EQ(p.cfg.sim.stats, StatsLevel::kFast);
+    EXPECT_EQ(p.cfg.batch.workers, 3u);
+  }
+  ::unsetenv("CVMT_BUDGET");
+  ::unsetenv("CVMT_STATS");
+}
+
+TEST(Driver, FastFlagMatchesEnvFastScale) {
+  ArgParser parser("t", "");
+  ExperimentParams::add_standard_flags(parser);
+  const char* argv[] = {"t", "--fast"};
+  ASSERT_EQ(parser.parse(2, argv), ArgParser::Outcome::kOk);
+  const ExperimentParams p = ExperimentParams::resolve(parser);
+  EXPECT_TRUE(p.fast);
+  EXPECT_EQ(p.cfg.sim.instruction_budget, kFastInstructionBudget);
+  EXPECT_EQ(p.cfg.sim.timeslice_cycles, kFastTimesliceCycles);
+  // An explicit budget still overrides the fast scale (CLI > fast).
+  ArgParser parser2("t", "");
+  ExperimentParams::add_standard_flags(parser2);
+  const char* argv2[] = {"t", "--fast", "--budget=123"};
+  ASSERT_EQ(parser2.parse(3, argv2), ArgParser::Outcome::kOk);
+  EXPECT_EQ(ExperimentParams::resolve(parser2).cfg.sim.instruction_budget,
+            123u);
+}
+
+TEST(Driver, FilterValidationRejectsTypos) {
+  {
+    ArgParser parser("t", "");
+    ExperimentParams::add_standard_flags(parser);
+    const char* argv[] = {"t", "--schemes=2SC3,NOT_A_SCHEME"};
+    ASSERT_EQ(parser.parse(2, argv), ArgParser::Outcome::kOk);
+    EXPECT_THROW((void)ExperimentParams::resolve(parser), CheckError);
+  }
+  {
+    ArgParser parser("t", "");
+    ExperimentParams::add_standard_flags(parser);
+    const char* argv[] = {"t", "--workloads=LLHH,XXXX"};
+    ASSERT_EQ(parser.parse(2, argv), ArgParser::Outcome::kOk);
+    EXPECT_THROW((void)ExperimentParams::resolve(parser), CheckError);
+  }
+}
+
+TEST(Driver, SchemeAndWorkloadFiltersNarrowFig10) {
+  ExperimentParams p = tiny(0);
+  p.schemes = {"2SC3", "3CCC"};
+  p.workloads = {"LLHH"};
+  const JsonValue v = JsonValue::parse(
+      run_to_string(get("fig10"), p, OutputFormat::kJson));
+  ASSERT_EQ(v.get("sections").size(), 1u);  // grouped/headlines skipped
+  const JsonValue& section = v.get("sections").at(0);
+  EXPECT_EQ(section.get("columns").size(), 3u);  // Workload + 2 schemes
+  EXPECT_EQ(section.get("rows").size(), 2u);     // LLHH + Average
+  EXPECT_EQ(v.get("params").get("schemes").size(), 2u);
+}
+
+TEST(Driver, MachineShapeFlagChangesTheMachine) {
+  ArgParser parser("t", "");
+  ExperimentParams::add_standard_flags(parser);
+  const char* argv[] = {"t", "--clusters=2", "--issue=8"};
+  ASSERT_EQ(parser.parse(3, argv), ArgParser::Outcome::kOk);
+  const ExperimentParams p = ExperimentParams::resolve(parser);
+  EXPECT_EQ(p.cfg.sim.machine.num_clusters, 2);
+  EXPECT_EQ(p.cfg.sim.machine.issue_per_cluster, 8);
+}
+
+}  // namespace
+}  // namespace cvmt

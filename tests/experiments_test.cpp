@@ -139,8 +139,8 @@ TEST(Experiments, ParetoPointsCombineCostAndPerformance) {
 TEST(Experiments, RendersAllTables) {
   // Rendering smoke test: every table materialises with plausible shape.
   std::ostringstream os;
-  render_table2().print(os);
-  render_fig5(run_fig5()).print_csv(os);
+  render_table2().to_table().print(os);
+  render_fig5(run_fig5()).write_csv(os);
   emit(os, render_fig9(run_fig9()));
   EXPECT_FALSE(os.str().empty());
   EXPECT_NE(os.str().find("LLLL"), std::string::npos);

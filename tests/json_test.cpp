@@ -1,0 +1,105 @@
+// JsonValue: construction, deterministic writing, parsing, round trips
+// and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace cvmt {
+namespace {
+
+TEST(Json, WritesScalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(JsonValue(std::string("\x01", 1)).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndOverwrites) {
+  JsonValue obj = JsonValue::object();
+  obj.set("z", 1);
+  obj.set("a", 2);
+  obj.set("z", 3);  // overwrite keeps position
+  EXPECT_EQ(obj.dump(-1), "{\"z\":3,\"a\":2}");
+  EXPECT_EQ(obj.get("z").as_int(), 3);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW((void)obj.get("missing"), CheckError);
+}
+
+TEST(Json, PrettyPrintIsStable) {
+  JsonValue obj = JsonValue::object();
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  obj.set("xs", std::move(arr));
+  EXPECT_EQ(obj.dump(2), "{\n  \"xs\": [\n    1,\n    \"two\"\n  ]\n}");
+}
+
+TEST(Json, ParsesDocument) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2.5, null, true], "b": {"c": "x\ny"}})");
+  EXPECT_EQ(v.get("a").size(), 4u);
+  EXPECT_EQ(v.get("a").at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.get("a").at(1).as_double(), 2.5);
+  EXPECT_TRUE(v.get("a").at(2).is_null());
+  EXPECT_TRUE(v.get("a").at(3).as_bool());
+  EXPECT_EQ(v.get("b").get("c").as_string(), "x\ny");
+}
+
+TEST(Json, NumberRoundTripIsExact) {
+  for (const double d : {0.0, -1.0, 3.141592653589793, 1e-300, 1.7e308,
+                         0.1, 123456.789}) {
+    const JsonValue v = JsonValue::parse(JsonValue(d).dump());
+    EXPECT_DOUBLE_EQ(v.as_double(), d);
+  }
+  for (const std::int64_t i :
+       {std::int64_t{0}, std::int64_t{-7},
+        std::int64_t{9'007'199'254'740'993}}) {  // > 2^53: double loses it
+    const JsonValue v = JsonValue::parse(JsonValue(i).dump());
+    EXPECT_EQ(v.as_int(), i);
+  }
+}
+
+TEST(Json, FullValueRoundTrip) {
+  JsonValue obj = JsonValue::object();
+  obj.set("name", "fig10");
+  obj.set("ok", true);
+  JsonValue rows = JsonValue::array();
+  JsonValue row = JsonValue::array();
+  row.push_back("LLLL");
+  row.push_back(1.25);
+  row.push_back(JsonValue());
+  rows.push_back(std::move(row));
+  obj.set("rows", std::move(rows));
+  const std::string text = obj.dump();
+  EXPECT_EQ(JsonValue::parse(text).dump(), text);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)JsonValue::parse(""), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("{"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("[1,]"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("tru"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("1 2"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("-"), CheckError);
+}
+
+TEST(Json, TypedAccessorsCheckKind) {
+  EXPECT_THROW((void)JsonValue("s").as_int(), CheckError);
+  EXPECT_THROW((void)JsonValue(1.0).as_string(), CheckError);
+  EXPECT_THROW((void)JsonValue().as_bool(), CheckError);
+  // as_double accepts integers (JSON has one number type).
+  EXPECT_DOUBLE_EQ(JsonValue(std::int64_t{4}).as_double(), 4.0);
+}
+
+}  // namespace
+}  // namespace cvmt

@@ -9,9 +9,9 @@
 namespace cvmt {
 namespace {
 
-std::string render(const TableWriter& t) {
+std::string render(const Dataset& d) {
   std::ostringstream os;
-  t.print(os);
+  d.to_table().print(os);
   return os.str();
 }
 

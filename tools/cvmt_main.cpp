@@ -1,0 +1,11 @@
+// The cvmt experiment driver: one binary that lists and runs every
+// registered experiment.
+//
+//   cvmt list
+//   cvmt run fig10 --fast --format=json
+//   cvmt run all --format=csv
+//
+// All logic lives in src/exp/driver.cpp so the tests can exercise it.
+#include "exp/driver.hpp"
+
+int main(int argc, char** argv) { return cvmt::cvmt_main(argc, argv); }
