@@ -1,5 +1,6 @@
 #include "core/scheme.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <sstream>
 
@@ -9,20 +10,40 @@
 namespace cvmt {
 namespace {
 
-/// Collects leaf ports, checking structural rules along the way.
-void validate_node(const Scheme::Node& node, std::vector<int>& ports) {
-  if (node.is_leaf()) {
-    CVMT_CHECK_MSG(node.children.empty(), "leaf with children");
-    ports.push_back(node.port);
-    return;
+const char* kind_name(MergeKind k) {
+  switch (k) {
+    case MergeKind::kSmt: return "SMT";
+    case MergeKind::kCsmt: return "CSMT";
+    case MergeKind::kSelect: return "select";
   }
-  CVMT_CHECK_MSG(node.children.size() >= 2,
-                 "merge block needs at least two inputs");
-  CVMT_CHECK_MSG(!node.parallel || node.kind == MergeKind::kCsmt,
-                 "parallel implementation exists only for CSMT (paper: "
-                 "parallel SMT is prohibitively expensive; select blocks "
-                 "are single-level anyway)");
-  for (const auto& child : node.children) validate_node(child, ports);
+  return "?";
+}
+
+/// Collects leaf ports, checking structural rules along the way. Returns
+/// the first defect found (empty string = subtree well formed).
+std::string validate_node(const Scheme::Node& node, std::vector<int>& ports) {
+  if (node.is_leaf()) {
+    if (!node.children.empty())
+      return "leaf (thread " + std::to_string(node.port) +
+             ") must not have children";
+    ports.push_back(node.port);
+    return {};
+  }
+  if (node.children.empty())
+    return std::string(kind_name(node.kind)) +
+           " block has no inputs (empty merge arm)";
+  if (node.children.size() == 1)
+    return std::string(kind_name(node.kind)) +
+           " block has a single input; merge blocks need at least two";
+  if (node.parallel && node.kind != MergeKind::kCsmt)
+    return "parallel implementation exists only for CSMT (paper: parallel "
+           "SMT is prohibitively expensive; select blocks are single-level "
+           "anyway)";
+  for (const auto& child : node.children) {
+    std::string err = validate_node(child, ports);
+    if (!err.empty()) return err;
+  }
+  return {};
 }
 
 Scheme::Node leaf(int port) {
@@ -140,22 +161,44 @@ class FunctionalParser {
 
 }  // namespace
 
-Scheme::Scheme(std::string name, Node root)
-    : name_(std::move(name)), root_(std::move(root)) {
+namespace {
+
+/// Full validation in one walk; on success `num_threads` is the leaf
+/// count. Shared by validate() and the constructor.
+std::string validate_tree(const Scheme::Node& root, int& num_threads) {
   std::vector<int> ports;
-  validate_node(root_, ports);
+  std::string err = validate_node(root, ports);
+  if (!err.empty()) return err;
   // Ports must be exactly {0..N-1}, each used once.
   std::vector<bool> seen(ports.size(), false);
   for (int p : ports) {
-    CVMT_CHECK_MSG(p >= 0 && static_cast<std::size_t>(p) < ports.size(),
-                   "leaf ports must be dense 0..N-1");
-    CVMT_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
-                   "duplicate leaf port");
+    if (p < 0 || static_cast<std::size_t>(p) >= ports.size())
+      return "leaf thread ids must be dense 0..N-1: thread " +
+             std::to_string(p) + " with " + std::to_string(ports.size()) +
+             " leaves";
+    if (seen[static_cast<std::size_t>(p)])
+      return "duplicate thread id " + std::to_string(p) + " in scheme";
     seen[static_cast<std::size_t>(p)] = true;
   }
-  num_threads_ = static_cast<int>(ports.size());
-  CVMT_CHECK_MSG(num_threads_ >= 1 && num_threads_ <= kMaxThreads,
-                 "thread count out of range");
+  const auto n = static_cast<int>(ports.size());
+  if (n < 1 || n > kMaxThreads)
+    return "thread count " + std::to_string(n) + " out of range 1.." +
+           std::to_string(kMaxThreads);
+  num_threads = n;
+  return {};
+}
+
+}  // namespace
+
+std::string Scheme::validate(const Node& root) {
+  int num_threads = 0;
+  return validate_tree(root, num_threads);
+}
+
+Scheme::Scheme(std::string name, Node root)
+    : name_(std::move(name)), root_(std::move(root)) {
+  const std::string err = validate_tree(root_, num_threads_);
+  CVMT_CHECK_MSG(err.empty(), "malformed scheme tree: " + err);
 }
 
 Scheme Scheme::parse(std::string_view text) {
@@ -165,6 +208,19 @@ Scheme Scheme::parse(std::string_view text) {
   if (s.find('(') != std::string::npos) {
     FunctionalParser p(s);
     return Scheme(s, p.parse());
+  }
+
+  // A bare port number is the canonical rendering of a single leaf ("0" =
+  // the 1-thread scheme), so parse(canonical()) round-trips. Any port
+  // other than 0 fails dense-port validation with a clear message; the
+  // length cap keeps the accumulation far from signed overflow.
+  if (std::all_of(s.begin(), s.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      })) {
+    CVMT_CHECK_MSG(s.size() <= 3, "scheme cannot be a bare number: " + s);
+    int port = 0;
+    for (const char c : s) port = port * 10 + (c - '0');
+    return Scheme(s, leaf(port));
   }
 
   // "IMT<k>": the interleaved-multithreading baseline.

@@ -61,8 +61,18 @@ class Scheme {
 
   /// Builds a scheme from an AST; validates structure (leaves are exactly
   /// ports 0..N-1, each once; internal nodes have >= 2 children; parallel
-  /// nodes are CSMT). `name` is the display name.
+  /// nodes are CSMT). `name` is the display name. Throws CheckError with
+  /// the validate() message on a malformed tree.
   Scheme(std::string name, Node root);
+
+  /// Well-formedness check of an AST without constructing a Scheme: returns
+  /// an empty string when `root` is a valid scheme tree, otherwise a
+  /// human-readable description of the first defect found (duplicate thread
+  /// ids, empty/single-input merge arms, non-dense ports, a parallel
+  /// non-CSMT block, thread count out of range). The property-based fuzzer
+  /// (src/testgen) uses this to assert generated trees are well formed and
+  /// that malformed mutations are rejected rather than silently accepted.
+  [[nodiscard]] static std::string validate(const Node& root);
 
   /// Parses a paper-style name ("1S", "3SCC", "2SC3", "2C3S", "C4", "2CS",
   /// "3SSS", ...) or functional syntax ("S(C(0,1),CP(1,2,3))" is invalid —

@@ -8,6 +8,7 @@
 #include "exp/report.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
+#include "testgen/fuzz_driver.hpp"
 
 namespace cvmt {
 
@@ -187,7 +188,10 @@ int usage(std::ostream& os, int code) {
         "  cvmt run <id|all> [--flags] [--format=table|csv|json]\n"
         "      Run one experiment (or every one) and print its result.\n"
         "      `cvmt run <id> --help` lists the flags; each layers over\n"
-        "      its CVMT_* environment variable.\n";
+        "      its CVMT_* environment variable.\n"
+        "  cvmt fuzz [--cases=N] [--seed=S] [--shrink] [--flags]\n"
+        "      Property-based differential fuzzing of the simulator's\n"
+        "      bit-identity contracts; `cvmt fuzz --help` for details.\n";
   return code;
 }
 
@@ -340,6 +344,7 @@ int cvmt_main(int argc, const char* const* argv) {
   const std::string_view command = argv[1];
   if (command == "list") return cvmt_list(argc - 1, argv + 1);
   if (command == "run") return cvmt_run(argc - 1, argv + 1);
+  if (command == "fuzz") return fuzz_main(argc - 1, argv + 1);
   if (command == "help" || command == "--help" || command == "-h")
     return usage(std::cout, 0);
   std::cerr << "cvmt: unknown command '" << command << "'\n";

@@ -15,11 +15,12 @@
 namespace cvmt {
 
 /// Hard upper bounds used to size inline containers. The paper's machine is
-/// 4x4; the ablation benches go up to 8 clusters / 8 threads.
+/// 4x4; the ablation benches go up to 8 clusters / 8 threads, and the
+/// property-based fuzzer (src/testgen) exercises schemes up to 16 threads.
 inline constexpr int kMaxClusters = 8;
 inline constexpr int kMaxIssuePerCluster = 8;
 inline constexpr int kMaxTotalOps = 32;
-inline constexpr int kMaxThreads = 8;
+inline constexpr int kMaxThreads = 16;
 
 /// Static description of one clustered VLIW machine. All clusters are
 /// homogeneous (as in VEX): the slot capability masks apply to each cluster.

@@ -182,6 +182,13 @@ ArgParser::Outcome ArgParser::parse(int argc, const char* const* argv) {
                    name.data());
       return Outcome::kError;
     }
+    if (opt->set) {
+      // Passing a flag twice is almost always a stale shell-history edit;
+      // silently letting the last one win hides the mistake.
+      std::fprintf(stderr, "%s: duplicate option --%s\n", program_.c_str(),
+                   opt->name.c_str());
+      return Outcome::kError;
+    }
     if (opt->kind == OptKind::kFlag) {
       if (has_value) {
         std::fprintf(stderr, "%s: --%s takes no value\n", program_.c_str(),

@@ -11,6 +11,8 @@
 //
 // Syntax: --name=value or --name value; bool flags take no value
 // (--name); "--" ends flag parsing; everything else is positional.
+// Passing the same option twice on one command line is an error (last-
+// one-wins would silently hide stale shell-history edits).
 #pragma once
 
 #include <cstdint>

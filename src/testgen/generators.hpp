@@ -1,0 +1,73 @@
+// Seeded property-based generators for the differential fuzzer: random
+// well-formed merge-scheme trees, random synthetic-benchmark profiles and
+// random machine/memory/OS shapes. Every generator derives its stream from
+// a single SplitMix64-seeded state, so one u64 seed fully reproduces a
+// case — the corpus stores shrunk cases as JSON precisely because shrunk
+// cases are the only ones not reachable from a seed.
+//
+// Ranges are chosen to stay inside the simulator's validated envelope
+// (profile fractions in [0,1], loop bodies within the 4KB code region,
+// machine shapes within kMaxTotalOps) so a generated case can only fail
+// an oracle through a genuine simulator bug, never through a
+// construction-time CheckError.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scheme.hpp"
+#include "support/rng.hpp"
+#include "testgen/fuzz_case.hpp"
+
+namespace cvmt {
+
+/// Random well-formed merge-scheme trees over 1..kMaxThreads threads:
+/// arbitrary nestings of SMT / serial CSMT / parallel CSMT / select blocks,
+/// plus the paper's pure shapes (cascades, C<n>, IMT<n>) at a fixed ratio
+/// so the classic structures stay in every sweep.
+class SchemeGen {
+ public:
+  explicit SchemeGen(std::uint64_t seed);
+
+  /// A scheme over a random thread count (weighted toward the paper's
+  /// 2..8, tail up to kMaxThreads).
+  [[nodiscard]] Scheme next();
+  /// A scheme over exactly `num_threads` threads.
+  [[nodiscard]] Scheme next(int num_threads);
+
+ private:
+  Scheme::Node random_tree(std::vector<int> ports);
+
+  Xoshiro256 rng_;
+};
+
+/// Random BenchmarkProfiles within the simulator's safe knob envelope.
+class WorkloadGen {
+ public:
+  explicit WorkloadGen(std::uint64_t seed);
+
+  /// One random profile; `name` is the display/thread name.
+  [[nodiscard]] BenchmarkProfile next(const std::string& name);
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Random machine + memory + OS shapes (clusters x issue within
+/// kMaxTotalOps, power-of-two cache geometries, timeslice policies).
+class MachineGen {
+ public:
+  explicit MachineGen(std::uint64_t seed);
+
+  [[nodiscard]] MachineConfig next_machine();
+  [[nodiscard]] MemorySystemConfig next_memory();
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Composes the three generators into one reproducible case per u64 seed.
+/// Distinct sub-seeds are derived via SplitMix64 so the scheme, workload
+/// and machine streams stay decorrelated.
+[[nodiscard]] FuzzCase generate_case(std::uint64_t seed);
+
+}  // namespace cvmt

@@ -1,10 +1,12 @@
 // ArgParser: flag parsing, CLI-over-env layering, positionals, help and
-// bad-input rejection.
+// bad-input rejection; plus env-vs-CLI precedence for every standard
+// CVMT_* experiment knob in one parameterized suite.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <sstream>
 
+#include "exp/params.hpp"
 #include "support/args.hpp"
 #include "support/check.hpp"
 
@@ -160,6 +162,158 @@ TEST_F(ArgsTest, UndeclaredOptionQueriesThrow) {
   EXPECT_THROW((void)p.get_u64("nope", 0), CheckError);
   EXPECT_THROW((void)p.get_flag("budget"), CheckError);  // kind mismatch
 }
+
+TEST_F(ArgsTest, UnknownFlagErrorNamesTheFlag) {
+  ArgParser p = make();
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(parse(p, {"--no-such-flag"}), ArgParser::Outcome::kError);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unknown option --no-such-flag"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("--help"), std::string::npos) << err;
+}
+
+TEST_F(ArgsTest, DuplicateFlagIsAnError) {
+  {
+    ArgParser p = make();
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(parse(p, {"--budget=1", "--budget=2"}),
+              ArgParser::Outcome::kError);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("duplicate option --budget"), std::string::npos)
+        << err;
+  }
+  {
+    // Mixed syntaxes are still the same option.
+    ArgParser p = make();
+    EXPECT_EQ(parse(p, {"--stats=fast", "--stats", "full"}),
+              ArgParser::Outcome::kError);
+  }
+  {
+    ArgParser p = make();
+    EXPECT_EQ(parse(p, {"--verbose", "--verbose"}),
+              ArgParser::Outcome::kError);
+  }
+}
+
+TEST_F(ArgsTest, EqualsAndSpaceValueFormsAreEquivalent) {
+  for (const auto& args :
+       {std::initializer_list<const char*>{"--budget=123", "--scale=2.5",
+                                           "--stats=full"},
+        std::initializer_list<const char*>{"--budget", "123", "--scale",
+                                           "2.5", "--stats", "full"}}) {
+    ArgParser p = make();
+    ASSERT_EQ(parse(p, args), ArgParser::Outcome::kOk);
+    EXPECT_EQ(p.get_u64("budget", 0), 123u);
+    EXPECT_DOUBLE_EQ(p.get_double("scale", 0.0), 2.5);
+    EXPECT_EQ(p.get_string("stats", "fast"), "full");
+  }
+}
+
+// ------------------------------------------------- standard CVMT_* knobs
+
+/// One standard experiment knob: its flag, environment variable, and an
+/// env/CLI value pair that must resolve CLI-over-env.
+struct Knob {
+  const char* flag;
+  const char* env;
+  enum class Kind { kFlag, kU64, kString } kind;
+  const char* env_value;
+  const char* cli_value;
+};
+
+class StandardKnobTest : public ::testing::TestWithParam<Knob> {
+ protected:
+  void TearDown() override { ::unsetenv(GetParam().env); }
+
+  static ArgParser make_standard() {
+    ArgParser p("prog", "Standard experiment flags.");
+    ExperimentParams::add_standard_flags(p);
+    return p;
+  }
+};
+
+TEST_P(StandardKnobTest, EnvSuppliesValueAndCliOverrides) {
+  const Knob k = GetParam();
+
+  // Layer 1: nothing set — the fallback wins.
+  {
+    ArgParser p = make_standard();
+    const char* argv[] = {"prog"};
+    ASSERT_EQ(p.parse(1, argv), ArgParser::Outcome::kOk);
+    switch (k.kind) {
+      case Knob::Kind::kFlag: EXPECT_FALSE(p.get_flag(k.flag)); break;
+      case Knob::Kind::kU64:
+        EXPECT_EQ(p.get_u64(k.flag, 424242), 424242u);
+        break;
+      case Knob::Kind::kString:
+        EXPECT_EQ(p.get_string(k.flag, "fallback"), "fallback");
+        break;
+    }
+  }
+
+  // Layer 2: the environment variable supplies the value.
+  ::setenv(k.env, k.env_value, 1);
+  {
+    ArgParser p = make_standard();
+    const char* argv[] = {"prog"};
+    ASSERT_EQ(p.parse(1, argv), ArgParser::Outcome::kOk);
+    switch (k.kind) {
+      case Knob::Kind::kFlag: EXPECT_TRUE(p.get_flag(k.flag)); break;
+      case Knob::Kind::kU64:
+        EXPECT_EQ(p.get_u64(k.flag, 424242),
+                  std::strtoull(k.env_value, nullptr, 10));
+        break;
+      case Knob::Kind::kString:
+        EXPECT_EQ(p.get_string(k.flag, "fallback"), k.env_value);
+        break;
+    }
+  }
+
+  // Layer 3: an explicit CLI flag beats the environment.
+  {
+    ArgParser p = make_standard();
+    const std::string arg =
+        k.kind == Knob::Kind::kFlag
+            ? "--" + std::string(k.flag)
+            : "--" + std::string(k.flag) + "=" + k.cli_value;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_EQ(p.parse(2, argv), ArgParser::Outcome::kOk);
+    EXPECT_TRUE(p.set_on_cli(k.flag));
+    switch (k.kind) {
+      case Knob::Kind::kFlag: EXPECT_TRUE(p.get_flag(k.flag)); break;
+      case Knob::Kind::kU64:
+        EXPECT_EQ(p.get_u64(k.flag, 424242),
+                  std::strtoull(k.cli_value, nullptr, 10));
+        break;
+      case Knob::Kind::kString:
+        EXPECT_EQ(p.get_string(k.flag, "fallback"), k.cli_value);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EveryCvmtKnob, StandardKnobTest,
+    ::testing::Values(
+        Knob{"fast", "CVMT_FAST", Knob::Kind::kFlag, "1", ""},
+        Knob{"budget", "CVMT_BUDGET", Knob::Kind::kU64, "9000", "123"},
+        Knob{"timeslice", "CVMT_TIMESLICE", Knob::Kind::kU64, "777",
+             "555"},
+        Knob{"workers", "CVMT_WORKERS", Knob::Kind::kU64, "3", "2"},
+        Knob{"stats", "CVMT_STATS", Knob::Kind::kString, "full", "fast"},
+        // env_word() canonicalizes environment words to lower case, so
+        // the env-layer expectations must be lower case already; CLI
+        // values pass through verbatim.
+        Knob{"schemes", "CVMT_SCHEMES", Knob::Kind::kString, "2sc3,3ccc",
+             "1S"},
+        Knob{"workloads", "CVMT_WORKLOADS", Knob::Kind::kString, "llhh",
+             "HHHH"},
+        Knob{"clusters", "CVMT_CLUSTERS", Knob::Kind::kU64, "8", "2"},
+        Knob{"issue", "CVMT_ISSUE", Knob::Kind::kU64, "2", "4"}),
+    [](const ::testing::TestParamInfo<Knob>& info) {
+      return std::string(info.param.flag);
+    });
 
 }  // namespace
 }  // namespace cvmt

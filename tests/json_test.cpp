@@ -101,5 +101,76 @@ TEST(Json, TypedAccessorsCheckKind) {
   EXPECT_DOUBLE_EQ(JsonValue(std::int64_t{4}).as_double(), 4.0);
 }
 
+TEST(Json, DeepNestingRoundTrips) {
+  // 600 nested arrays around one integer: both the writer and the
+  // recursive-descent parser must survive deep (but sane) documents.
+  constexpr int kDepth = 600;
+  JsonValue v(std::int64_t{7});
+  for (int i = 0; i < kDepth; ++i) {
+    JsonValue arr = JsonValue::array();
+    arr.push_back(std::move(v));
+    v = std::move(arr);
+  }
+  const std::string text = v.dump(-1);
+  EXPECT_EQ(text.size(), 2 * kDepth + 1u);  // kDepth '['s + "7" + ']'s
+  const JsonValue parsed = JsonValue::parse(text);
+  const JsonValue* inner = &parsed;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_EQ(inner->size(), 1u);
+    inner = &inner->at(0);
+  }
+  EXPECT_EQ(inner->as_int(), 7);
+  EXPECT_EQ(parsed.dump(-1), text);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // One-, two- and three-byte UTF-8 targets.
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse("\"\\u20AC\"").as_string(),
+            "\xe2\x82\xac");  // upper-case hex digits accepted
+  EXPECT_EQ(JsonValue::parse("\"a\\u0062c\"").as_string(), "abc");
+}
+
+TEST(Json, RejectsMalformedUnicodeEscapes) {
+  EXPECT_THROW((void)JsonValue::parse("\"\\u12\""), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("\"\\u12G4\""), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("\"\\u123"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("\"\\x41\""), CheckError);
+}
+
+TEST(Json, LargeU64RoundTripsBitExactly) {
+  // JsonValue stores integers as int64; u64 construction is a modular
+  // cast, so values above 2^63 print negative but survive a
+  // write-parse-cast round trip bit-exactly. Seeds and counters rely on
+  // this (fuzz-case os_seed/stream_seed_base are full-range u64s).
+  for (const std::uint64_t u :
+       {std::uint64_t{0}, std::uint64_t{1} << 53,
+        std::uint64_t{0x7fffffffffffffff}, std::uint64_t{1} << 63,
+        std::uint64_t{0xdeadbeefcafebabe},
+        std::uint64_t{0xffffffffffffffff}}) {
+    const JsonValue v = JsonValue::parse(JsonValue(u).dump());
+    EXPECT_EQ(static_cast<std::uint64_t>(v.as_int()), u);
+  }
+}
+
+TEST(Json, IntegerOverflowFallsBackToDouble) {
+  // A literal beyond int64 range parses as a (lossy) double rather than
+  // failing — JSON has one number type.
+  const JsonValue v = JsonValue::parse("123456789012345678901234567890");
+  EXPECT_EQ(v.kind(), JsonValue::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(v.as_double(), 1.2345678901234568e29);
+}
+
+TEST(Json, RejectsTrailingGarbage) {
+  EXPECT_THROW((void)JsonValue::parse("{} {}"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("[1,2] x"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("null,"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("42abc"), CheckError);
+  EXPECT_THROW((void)JsonValue::parse("\"ok\"\"extra\""), CheckError);
+  // Trailing whitespace is not garbage.
+  EXPECT_EQ(JsonValue::parse("7 \n\t ").as_int(), 7);
+}
+
 }  // namespace
 }  // namespace cvmt

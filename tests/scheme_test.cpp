@@ -167,5 +167,103 @@ TEST(Scheme, SerialMultiInputCountsAsMultipleBlocks) {
   EXPECT_EQ(p.count_blocks(MergeKind::kCsmt), 1);
 }
 
+// --------------------------------------------- Scheme::validate messages
+
+Scheme::Node make_leaf(int port) {
+  Scheme::Node n;
+  n.port = port;
+  return n;
+}
+
+Scheme::Node make_block(MergeKind kind, std::vector<Scheme::Node> children,
+                        bool parallel = false) {
+  Scheme::Node n;
+  n.kind = kind;
+  n.parallel = parallel;
+  n.children = std::move(children);
+  return n;
+}
+
+TEST(SchemeValidate, AcceptsEveryPaperScheme) {
+  for (const Scheme& s : Scheme::paper_schemes_4t())
+    EXPECT_EQ(Scheme::validate(s.root()), "") << s.name();
+  EXPECT_EQ(Scheme::validate(Scheme::single_thread().root()), "");
+  EXPECT_EQ(Scheme::validate(Scheme::imt(kMaxThreads).root()), "");
+}
+
+TEST(SchemeValidate, RejectsDuplicateThreadIds) {
+  std::vector<Scheme::Node> kids;
+  kids.push_back(make_leaf(0));
+  kids.push_back(make_leaf(0));
+  const std::string err =
+      Scheme::validate(make_block(MergeKind::kSmt, std::move(kids)));
+  EXPECT_NE(err.find("duplicate thread id 0"), std::string::npos) << err;
+  EXPECT_THROW((void)Scheme::parse("S(0,0)"), CheckError);
+}
+
+TEST(SchemeValidate, RejectsEmptyAndSingleInputMergeArms) {
+  const std::string empty =
+      Scheme::validate(make_block(MergeKind::kSelect, {}));
+  EXPECT_NE(empty.find("no inputs"), std::string::npos) << empty;
+  EXPECT_NE(empty.find("select"), std::string::npos) << empty;
+
+  std::vector<Scheme::Node> one;
+  one.push_back(make_leaf(0));
+  const std::string single =
+      Scheme::validate(make_block(MergeKind::kCsmt, std::move(one)));
+  EXPECT_NE(single.find("single input"), std::string::npos) << single;
+}
+
+TEST(SchemeValidate, RejectsNonDensePorts) {
+  std::vector<Scheme::Node> kids;
+  kids.push_back(make_leaf(0));
+  kids.push_back(make_leaf(2));
+  const std::string err =
+      Scheme::validate(make_block(MergeKind::kCsmt, std::move(kids)));
+  EXPECT_NE(err.find("dense 0..N-1"), std::string::npos) << err;
+}
+
+TEST(SchemeValidate, RejectsLeafWithChildren) {
+  Scheme::Node bad = make_leaf(0);
+  bad.children.push_back(make_leaf(1));
+  const std::string err = Scheme::validate(bad);
+  EXPECT_NE(err.find("must not have children"), std::string::npos) << err;
+}
+
+TEST(SchemeValidate, RejectsParallelNonCsmt) {
+  std::vector<Scheme::Node> kids;
+  kids.push_back(make_leaf(0));
+  kids.push_back(make_leaf(1));
+  const std::string err = Scheme::validate(
+      make_block(MergeKind::kSmt, std::move(kids), /*parallel=*/true));
+  EXPECT_NE(err.find("parallel"), std::string::npos) << err;
+}
+
+TEST(SchemeValidate, RejectsTooManyThreads) {
+  std::vector<Scheme::Node> kids;
+  for (int p = 0; p <= kMaxThreads; ++p) kids.push_back(make_leaf(p));
+  const std::string err =
+      Scheme::validate(make_block(MergeKind::kCsmt, std::move(kids), true));
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(SchemeParse, CanonicalLeafRoundTrips) {
+  // canonical() of the 1-thread scheme is "0"; parse must round-trip it
+  // (a bare non-zero port fails dense-port validation instead).
+  const Scheme s = Scheme::parse("0");
+  EXPECT_EQ(s.num_threads(), 1);
+  EXPECT_EQ(s.canonical(), "0");
+  EXPECT_EQ(Scheme::parse(Scheme::single_thread().canonical()).canonical(),
+            "0");
+  EXPECT_THROW((void)Scheme::parse("5"), CheckError);
+}
+
+TEST(Scheme, SixteenThreadSchemesSupported) {
+  EXPECT_EQ(Scheme::parallel_csmt(16).num_threads(), 16);
+  EXPECT_EQ(Scheme::parse("C16").count_blocks(MergeKind::kCsmt), 1);
+  std::vector<MergeKind> levels(15, MergeKind::kCsmt);
+  EXPECT_EQ(Scheme::cascade(levels).num_threads(), 16);
+}
+
 }  // namespace
 }  // namespace cvmt
