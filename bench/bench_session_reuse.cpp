@@ -1,0 +1,168 @@
+// Wall-clock validation of the session layer's build/run split: a dense
+// grid of many *small* runs (every paper scheme x every Table 2 workload,
+// repeated) executed two ways —
+//
+//   per-run construction   run_simulation() per grid point: every run
+//                          recompiles the scheme into a MergePlan and
+//                          rebuilds the memory system, thread contexts and
+//                          stats buffers;
+//   session reuse          one SimSession: schemes compiled once, one
+//                          SimInstance per scheme reset in place across
+//                          grid points.
+//
+// Programs are pre-materialized in the shared ArtifactCache for BOTH
+// paths, so the comparison isolates exactly the per-run construction the
+// session eliminates. Results must be bit-identical (the process exits
+// non-zero otherwise); the headline number is the many-small-runs
+// throughput ratio. Deliberately not a registry experiment: its output is
+// wall-clock, and `cvmt run all` stays deterministic without it.
+//
+//   ./bench_session_reuse [--budget=N] [--timeslice=N] [--reps=N]
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/session.hpp"
+#include "support/args.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+#include "testgen/oracle.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cvmt;
+  ArgParser args("bench_session_reuse",
+                 "Many-small-runs throughput of session reuse (compile "
+                 "once, run many) vs per-run construction, bit-identity "
+                 "checked on every grid point.");
+  args.add_u64("budget", "N",
+               "Instruction budget per thread and run (small on purpose: "
+               "the grid stresses construction, not simulation).",
+               "CVMT_BUDGET");
+  args.add_u64("timeslice", "N", "OS timeslice in cycles.",
+               "CVMT_TIMESLICE");
+  args.add_u64("reps", "N", "Grid repetitions per timed pass.");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+
+  // The default budget sits in the genuinely small-run regime (the scale
+  // of one shrink candidate or one fuzz oracle configuration): runs short
+  // enough that per-run construction is a real fraction of the wall
+  // clock. The same grid is measured again at 10x the budget to show the
+  // effect decaying — longer runs amortize construction and the two
+  // paths converge, i.e. reuse costs nothing when it doesn't help.
+  const std::uint64_t small_budget = args.get_u64("budget", 40);
+  const std::uint64_t timeslice = args.get_u64("timeslice", 50);
+  const std::uint64_t reps = args.get_u64("reps", 6);
+
+  // The grid: 16 paper schemes x 9 workloads. Programs come from the
+  // shared cache for both paths (their build cost is not under test).
+  const std::vector<Scheme> schemes = Scheme::paper_schemes_4t();
+  ArtifactCache& artifacts = ArtifactCache::global();
+  std::vector<std::shared_ptr<const CompiledWorkload>> workloads;
+  for (const Workload& wl : table2_workloads())
+    workloads.push_back(
+        artifacts.workload(wl.benchmarks, MachineConfig::vex4x4()));
+  const std::size_t grid_points = schemes.size() * workloads.size();
+
+  SimSession session(artifacts);
+  print_banner(std::cout,
+               "Session reuse: many-small-runs grid (16 schemes x 9 "
+               "workloads, best of " +
+                   std::to_string(reps) + ")");
+  TableWriter t({"Budget", "Path", "Wall s", "Runs/s", "Speedup"});
+  double small_budget_speedup = 0.0;
+
+  for (const std::uint64_t budget : {small_budget, small_budget * 10}) {
+    SimConfig cfg;
+    cfg.instruction_budget = budget;
+    cfg.timeslice_cycles = timeslice;
+    cfg.stats = StatsLevel::kFast;  // the sweep configuration of the paper
+
+    const auto fresh_pass = [&](std::vector<SimResult>* results) {
+      for (const Scheme& scheme : schemes)
+        for (const auto& wl : workloads) {
+          SimResult r = run_simulation(scheme, wl->programs, cfg);
+          if (results != nullptr) results->push_back(std::move(r));
+        }
+    };
+    const auto reused_pass = [&](std::vector<SimResult>* results) {
+      for (const Scheme& scheme : schemes)
+        for (const auto& wl : workloads) {
+          SimResult r = session.run(scheme, wl->programs, cfg);
+          if (results != nullptr) results->push_back(std::move(r));
+        }
+    };
+
+    // Warm-up sweep of both paths — instances built, caches warm, CPU up
+    // — doubling as the bit-identity check: every grid point of the
+    // reused path must equal its per-run-construction twin on every
+    // counter. A hard guarantee, not a benchmark nicety.
+    std::vector<SimResult> fresh_results;
+    std::vector<SimResult> reused_results;
+    fresh_results.reserve(grid_points);
+    reused_results.reserve(grid_points);
+    fresh_pass(&fresh_results);
+    reused_pass(&reused_results);
+    for (std::size_t i = 0; i < grid_points; ++i) {
+      const std::string mismatch =
+          compare_sim_results(fresh_results[i], reused_results[i],
+                              /*compare_merge_stats=*/true);
+      if (!mismatch.empty()) {
+        std::cerr << "bench_session_reuse: budget " << budget
+                  << " grid point " << i << " diverged: " << mismatch
+                  << '\n';
+        return 1;
+      }
+    }
+
+    // Timed passes, alternating, best-of-reps per path: the minimum is
+    // the standard robust throughput estimator on a shared machine.
+    double fresh_s = 0.0, reused_s = 0.0;
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      auto start = Clock::now();
+      fresh_pass(nullptr);
+      const double f = seconds_since(start);
+      if (r == 0 || f < fresh_s) fresh_s = f;
+      start = Clock::now();
+      reused_pass(nullptr);
+      const double u = seconds_since(start);
+      if (r == 0 || u < reused_s) reused_s = u;
+    }
+
+    if (budget == small_budget) small_budget_speedup = fresh_s / reused_s;
+    t.add_row({std::to_string(budget), "per-run construction",
+               format_fixed(fresh_s, 3),
+               format_fixed(static_cast<double>(grid_points) / fresh_s, 0),
+               "1.00x"});
+    t.add_row({std::to_string(budget), "session reuse",
+               format_fixed(reused_s, 3),
+               format_fixed(static_cast<double>(grid_points) / reused_s,
+                            0),
+               format_fixed(fresh_s / reused_s, 2) + "x"});
+  }
+
+  t.print(std::cout);
+  std::cout << "\nAll " << 2 * grid_points
+            << " grid points bit-identical across the two paths.\n"
+            << "Session kept " << session.num_instances()
+            << " instances (one per scheme); artifact cache holds "
+            << artifacts.size() << " artifacts.\n"
+            << "Small-run speedup: "
+            << format_fixed(small_budget_speedup, 2) << "x\n";
+  return 0;
+}

@@ -5,7 +5,7 @@
 //   e.g. ./quickstart 2SC3 LLHH        (--help for details)
 #include <iostream>
 
-#include "sim/simulation.hpp"
+#include "sim/session.hpp"
 #include "support/args.hpp"
 #include "support/check.hpp"
 #include "support/string_util.hpp"
@@ -31,7 +31,6 @@ int main(int argc, char** argv) {
   config.instruction_budget = 200'000;
 
   // 2. The workload: one of the Table 2 mixes.
-  ProgramLibrary library(config.machine);
   const Workload* workload = nullptr;
   for (const Workload& w : table2_workloads())
     if (w.ilp_combo == workload_name) workload = &w;
@@ -41,7 +40,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // 3. Run the chosen scheme plus the two extremes it interpolates.
+  // 3. A session: schemes are compiled and benchmarks materialized once,
+  //    in the shared artifact cache, and run state is reused across runs.
+  //    (For a single one-shot run, run_simulation() does the same thing
+  //    without the session.)
+  SimSession session;
+
+  // 4. Run the chosen scheme plus the two extremes it interpolates.
   for (const std::string& name : {scheme_name, std::string("3CCC"),
                                   std::string("3SSS")}) {
     Scheme scheme = Scheme::single_thread();
@@ -53,7 +58,7 @@ int main(int argc, char** argv) {
                    "syntax like CP(S(0,1),2,3); try --help)\n";
       return 2;
     }
-    const SimResult r = run_workload(scheme, *workload, library, config);
+    const SimResult r = session.run(scheme, workload->benchmarks, config);
     std::cout << name << " on " << workload->ilp_combo
               << ": IPC = " << format_fixed(r.ipc, 2) << "  (cycles "
               << format_grouped(static_cast<long long>(r.cycles))

@@ -7,16 +7,42 @@ namespace cvmt {
 MergeEngine::MergeEngine(Scheme scheme, MachineConfig config,
                          PriorityPolicy policy, StatsLevel stats_level,
                          EvalMode eval_mode)
+    // Reading `scheme` while its copy is passed to the other parameter is
+    // fine: make_shared only reads the source, the copy does not modify it.
+    : MergeEngine(scheme, std::make_shared<const MergePlan>(scheme, config),
+                  config, policy, stats_level, eval_mode) {}
+
+MergeEngine::MergeEngine(Scheme scheme, std::shared_ptr<const MergePlan> plan,
+                         MachineConfig config, PriorityPolicy policy,
+                         StatsLevel stats_level, EvalMode eval_mode)
     : scheme_(std::move(scheme)),
       config_(config),
       policy_(policy),
       stats_level_(stats_level),
       eval_mode_(eval_mode),
-      plan_(scheme_, config),
+      plan_(std::move(plan)),
       issued_histogram_(static_cast<std::size_t>(scheme_.num_threads()) + 1) {
   config_.validate();
-  scratch_ = plan_.make_scratch();
-  node_stats_ = plan_.make_stats();
+  CVMT_CHECK_MSG(plan_ != nullptr &&
+                     plan_->num_threads() == scheme_.num_threads() &&
+                     plan_->machine() == config_,
+                 "merge plan was compiled for a different scheme or machine");
+  scratch_ = plan_->make_scratch();
+  node_stats_ = plan_->make_stats();
+}
+
+void MergeEngine::reset(PriorityPolicy policy, StatsLevel stats_level,
+                        EvalMode eval_mode) {
+  policy_ = policy;
+  stats_level_ = stats_level;
+  eval_mode_ = eval_mode;
+  rotation_ = 0;
+  cycles_ = 0;
+  issued_histogram_.reset();
+  for (MergeNodeStats& s : node_stats_) {
+    s.attempts = 0;
+    s.rejects = 0;
+  }
 }
 
 MergeEngine::EvalResult MergeEngine::eval_tree(

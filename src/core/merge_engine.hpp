@@ -15,6 +15,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -59,6 +60,24 @@ class MergeEngine {
               StatsLevel stats_level = StatsLevel::kFull,
               EvalMode eval_mode = EvalMode::kPlan);
 
+  /// Construction from a pre-compiled plan (the session layer's
+  /// CompiledScheme shares one immutable MergePlan across every engine for
+  /// the same scheme x machine, skipping the per-engine compilation).
+  /// `plan` must have been built for exactly this scheme and machine.
+  MergeEngine(Scheme scheme, std::shared_ptr<const MergePlan> plan,
+              MachineConfig config,
+              PriorityPolicy policy = PriorityPolicy::kRoundRobin,
+              StatsLevel stats_level = StatsLevel::kFull,
+              EvalMode eval_mode = EvalMode::kPlan);
+
+  /// Restores the freshly-constructed state under (possibly new) policy
+  /// knobs: rotation and cycle count rewound, histogram and node counters
+  /// zeroed (labels kept — they come from the immutable plan). Bit-identical
+  /// to building a new engine with the same scheme/plan/machine, but
+  /// without reallocating the scratch, stats or histogram buffers.
+  void reset(PriorityPolicy policy, StatsLevel stats_level,
+             EvalMode eval_mode);
+
   /// Selects the threads to issue this cycle. `candidates` is indexed by
   /// hardware thread id; a null entry means the thread has nothing to issue
   /// (stalled or idle). Size must equal scheme().num_threads().
@@ -91,7 +110,11 @@ class MergeEngine {
   [[nodiscard]] PriorityPolicy policy() const { return policy_; }
   [[nodiscard]] StatsLevel stats_level() const { return stats_level_; }
   [[nodiscard]] EvalMode eval_mode() const { return eval_mode_; }
-  [[nodiscard]] const MergePlan& plan() const { return plan_; }
+  [[nodiscard]] const MergePlan& plan() const { return *plan_; }
+  /// The shared compiled plan (see the CompiledScheme artifact).
+  [[nodiscard]] const std::shared_ptr<const MergePlan>& shared_plan() const {
+    return plan_;
+  }
 
   /// Per-merge-block statistics, in preorder over the scheme tree, labelled
   /// with each block's canonical sub-scheme (e.g. "S(0,1)"). Under
@@ -122,7 +145,9 @@ class MergeEngine {
   PriorityPolicy policy_;
   StatsLevel stats_level_;
   EvalMode eval_mode_;
-  MergePlan plan_;
+  /// Immutable and shareable: engines for the same scheme x machine (e.g.
+  /// a cached CompiledScheme's instances) point at one plan.
+  std::shared_ptr<const MergePlan> plan_;
   /// Reusable frame stack for plan_.select (constructed once; see
   /// MergePlan::make_scratch).
   std::vector<MergePlan::Frame> scratch_;
@@ -149,7 +174,7 @@ inline MergeDecision MergeEngine::select(
   CVMT_CHECK_MSG(
       candidates.size() == static_cast<std::size_t>(scheme_.num_threads()),
       "candidate count must match scheme thread count");
-  const MergePlan::Eval r = plan_.select(
+  const MergePlan::Eval r = plan_->select(
       candidates, rotation_, scratch_.data(),
       stats_level_ == StatsLevel::kFull ? node_stats_.data() : nullptr);
   MergeDecision d;
@@ -175,10 +200,10 @@ inline std::uint32_t MergeEngine::select_mask_gathered(
     mask = 1u << static_cast<unsigned>(only_offer);
   } else if (num_offers > 1) {
     mask = plan_
-               .select_multi(candidates, rotation_, scratch_.data(),
-                             stats_level_ == StatsLevel::kFull
-                                 ? node_stats_.data()
-                                 : nullptr)
+               ->select_multi(candidates, rotation_, scratch_.data(),
+                              stats_level_ == StatsLevel::kFull
+                                  ? node_stats_.data()
+                                  : nullptr)
                .issued_mask;
   }
   finish_cycle(std::popcount(mask), candidates);

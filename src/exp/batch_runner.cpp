@@ -1,41 +1,29 @@
 #include "exp/batch_runner.hpp"
 
 #include <future>
-#include <memory>
-#include <mutex>
-#include <utility>
 
+#include "sim/session.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
 namespace cvmt {
 namespace {
 
-/// Process-wide cache of pre-built program libraries, one per distinct
-/// machine config. Programs are immutable once built, so sharing across
-/// batches is safe; the mutex serialises the (rare) build of a new
-/// machine's set, and workers afterwards only call the const,
-/// concurrency-safe ProgramLibrary::lookup.
-const ProgramLibrary& library_for(const MachineConfig& machine) {
-  static std::mutex mu;
-  static std::vector<
-      std::pair<MachineConfig, std::unique_ptr<ProgramLibrary>>>
-      libs;
-  std::lock_guard<std::mutex> lock(mu);
-  for (const auto& [m, lib] : libs)
-    if (m == machine) return *lib;
-  auto lib = std::make_unique<ProgramLibrary>(machine);
-  lib->build_all();
-  libs.emplace_back(machine, std::move(lib));
-  return *libs.back().second;
+/// The calling thread's simulation session. Programs and compiled schemes
+/// come from the process-wide ArtifactCache (thread-safe, shared across
+/// batches and machines); the session's SimInstances are this thread's
+/// reusable run state. thread_local scoping means pool workers — which
+/// live for one batch — drop their sessions with the pool, while the
+/// inline workers<=1 path keeps one (bounded) session warm on the calling
+/// thread across batches.
+SimSession& session_for_this_thread() {
+  thread_local SimSession session;
+  return session;
 }
 
-SimResult run_one(const BatchJob& job, const ProgramLibrary& lib) {
-  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
-  programs.reserve(job.benchmarks.size());
-  for (const std::string& name : job.benchmarks)
-    programs.push_back(lib.lookup(name));
-  return run_simulation(job.scheme, programs, job.sim);
+SimResult run_one(const BatchJob& job, SimSession& session) {
+  return session.run(job.scheme,
+                     std::span<const std::string>(job.benchmarks), job.sim);
 }
 
 }  // namespace
@@ -60,27 +48,25 @@ unsigned resolve_workers(const BatchOptions& opts, std::size_t num_jobs) {
 
 std::vector<SimResult> run_batch(std::span<const BatchJob> jobs,
                                  const BatchOptions& opts) {
-  std::vector<const ProgramLibrary*> library_of;
-  library_of.reserve(jobs.size());
-  for (const BatchJob& job : jobs)
-    library_of.push_back(&library_for(job.sim.machine));
-
   std::vector<SimResult> results(jobs.size());
   const unsigned workers = resolve_workers(opts, jobs.size());
   if (workers <= 1) {
+    SimSession& session = session_for_this_thread();
     for (std::size_t i = 0; i < jobs.size(); ++i)
-      results[i] = run_one(jobs[i], *library_of[i]);
+      results[i] = run_one(jobs[i], session);
     return results;
   }
 
+  // No pre-build pass: the artifact cache serialises the build of any
+  // missing program/scheme under its lock, so concurrent first requests
+  // for one artifact block on a single build and then share it.
   ThreadPool pool(workers);
   std::vector<std::future<void>> pending;
   pending.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i)
-    pending.push_back(pool.submit(
-        [&jobs, &library_of, &results, i] {
-          results[i] = run_one(jobs[i], *library_of[i]);
-        }));
+    pending.push_back(pool.submit([&jobs, &results, i] {
+      results[i] = run_one(jobs[i], session_for_this_thread());
+    }));
   for (auto& f : pending) f.get();  // rethrows the first job failure
   return results;
 }

@@ -3,9 +3,13 @@
 // running the same jobs serially in order, regardless of worker count or
 // completion order, because no job shares mutable state with another:
 // every job's randomness comes from seeds inside its own SimConfig,
-// program libraries are pre-built serially (one per distinct machine
-// config) before the fan-out and only read concurrently, and each result
-// is written to its own pre-allocated slot.
+// compiled artifacts (schemes, programs) come from the process-wide
+// thread-safe ArtifactCache and are immutable once built, and each result
+// is written to its own pre-allocated slot. Each worker thread runs its
+// jobs through a private SimSession, so consecutive jobs on the same
+// scheme reuse one SimInstance (reset in place) instead of rebuilding the
+// simulator per grid point — the reuse is invisible in the results (the
+// reset contract is bit-identity, pinned by sim_golden_test).
 #pragma once
 
 #include <cstddef>

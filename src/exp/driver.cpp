@@ -1,6 +1,8 @@
 #include "exp/driver.hpp"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <ostream>
 #include <sstream>
@@ -155,7 +157,7 @@ ParamKind param_kind_of_flag(std::string_view flag) {
 void warn_flags_outside_schema(const Experiment& experiment,
                                const ArgParser& parser) {
   for (const std::string& flag : parser.cli_set_names()) {
-    if (flag == "format") continue;
+    if (flag == "format" || flag == "out") continue;
     if (!experiment.in_schema(param_kind_of_flag(flag)))
       std::fprintf(stderr,
                    "cvmt: experiment '%s' does not consume --%s "
@@ -172,11 +174,67 @@ void add_format_flag(ArgParser& parser) {
                     {}, {"table", "csv", "json"});
 }
 
+void add_out_flag(ArgParser& parser) {
+  parser.add_string("out", "file",
+                    "Write the report to this file instead of stdout "
+                    "(same bytes; diagnostics stay on stderr).");
+}
+
+/// The --out contract: a pre-existing report at the path must survive any
+/// failure — a typo'd experiment id, an experiment throwing mid-run, a
+/// full disk. So the report is rendered into `buffer` and committed to
+/// the file only at the end (commit_out); this probe merely verifies the
+/// path is writable up front, in append mode, which never truncates.
+/// Returns false (after a diagnostic) when the path cannot be opened.
+bool probe_out(const std::string& path, std::string_view who) {
+  std::error_code ec;
+  const bool existed = std::filesystem::exists(path, ec);
+  bool ok;
+  {
+    std::ofstream probe(path, std::ios::out | std::ios::app);
+    ok = probe.is_open();
+  }
+  // The probe creates the file when it did not exist; remove it again so
+  // a run that later throws leaves the filesystem exactly as it found it
+  // (no stray zero-byte report for a consumer to mistake for output).
+  if (ok && !existed) std::filesystem::remove(path, ec);
+  if (!ok) std::cerr << who << ": cannot open --out file: " << path << '\n';
+  return ok;
+}
+
+/// Writes the buffered report to `path` (binary: exactly the bytes the
+/// stdout path would carry). Writes a sibling temp file first and renames
+/// it over the target only after a successful flush — a full disk or I/O
+/// error mid-write must not destroy the previous report (rename is atomic
+/// on POSIX). Returns false after a diagnostic on error.
+bool commit_out(const std::string& path, const std::ostringstream& buffer,
+                std::string_view who) {
+  const std::string tmp = path + ".tmp";
+  std::error_code ec;
+  {
+    std::ofstream file(tmp,
+                       std::ios::out | std::ios::trunc | std::ios::binary);
+    file << buffer.str();
+    file.flush();
+    if (!file.good()) {
+      std::filesystem::remove(tmp, ec);
+      std::cerr << who << ": error writing --out file: " << path << '\n';
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (!ec) return true;
+  std::filesystem::remove(tmp, ec);
+  std::cerr << who << ": error writing --out file: " << path << '\n';
+  return false;
+}
+
 /// Runs one experiment end to end; 0/1 exit semantics of the benches.
 int run_and_print(const Experiment& experiment,
-                  const ExperimentParams& params, OutputFormat format) {
+                  const ExperimentParams& params, OutputFormat format,
+                  std::ostream& os) {
   const ExperimentResult result = experiment.run(RunContext{params});
-  print_result(std::cout, experiment, params, result, format);
+  print_result(os, experiment, params, result, format);
   return result.ok ? 0 : 1;
 }
 
@@ -186,7 +244,9 @@ int usage(std::ostream& os, int code) {
         "      List every registered experiment with its paper artifact\n"
         "      and declared parameter schema.\n"
         "  cvmt run <id|all> [--flags] [--format=table|csv|json]\n"
-        "      Run one experiment (or every one) and print its result.\n"
+        "           [--out=FILE]\n"
+        "      Run one experiment (or every one) and print its result\n"
+        "      (--out writes the same bytes to FILE instead of stdout).\n"
         "      `cvmt run <id> --help` lists the flags; each layers over\n"
         "      its CVMT_* environment variable.\n"
         "  cvmt fuzz [--cases=N] [--seed=S] [--shrink] [--flags]\n"
@@ -232,6 +292,7 @@ int cvmt_run(int argc, const char* const* argv) {
       "CVMT_* environment variable (CLI > env > default).");
   ExperimentParams::add_standard_flags(parser);
   add_format_flag(parser);
+  add_out_flag(parser);
 
   // `cvmt run --help` (no id) should reach the parser's help, not be
   // taken for an experiment id.
@@ -266,6 +327,22 @@ int cvmt_run(int argc, const char* const* argv) {
   const OutputFormat format =
       format_from_string(parser.get_string("format", "table"));
 
+  const Experiment* experiment = nullptr;
+  if (id != "all") {
+    experiment = ExperimentRegistry::instance().find(id);
+    if (experiment == nullptr) {
+      std::cerr << "cvmt run: unknown experiment '" << id
+                << "' (try `cvmt list`)\n";
+      return 2;
+    }
+  }
+  const std::string out_path = parser.get_string("out", "");
+  if (!out_path.empty() && !probe_out(out_path, "cvmt run")) return 2;
+  std::ostringstream buffer;
+  std::ostream& os =
+      out_path.empty() ? static_cast<std::ostream&>(std::cout) : buffer;
+
+  int code;
   if (id == "all") {
     const auto all = ExperimentRegistry::instance().all();
     bool ok = true;
@@ -279,29 +356,26 @@ int cvmt_run(int argc, const char* const* argv) {
         results.push_back(result_to_json(*e, params, r));
       }
       out.set("results", std::move(results));
-      out.write(std::cout);
-      std::cout << '\n';
+      out.write(os);
+      os << '\n';
     } else {
       bool first = true;
       for (const Experiment* e : all) {
-        if (!first && format == OutputFormat::kCsv) std::cout << '\n';
+        if (!first && format == OutputFormat::kCsv) os << '\n';
         first = false;
         const ExperimentResult r = e->run(RunContext{params});
         ok = ok && r.ok;
-        print_result(std::cout, *e, params, r, format);
+        print_result(os, *e, params, r, format);
       }
     }
-    return ok ? 0 : 1;
+    code = ok ? 0 : 1;
+  } else {
+    warn_flags_outside_schema(*experiment, parser);
+    code = run_and_print(*experiment, params, format, os);
   }
-
-  const Experiment* experiment = ExperimentRegistry::instance().find(id);
-  if (experiment == nullptr) {
-    std::cerr << "cvmt run: unknown experiment '" << id
-              << "' (try `cvmt list`)\n";
-    return 2;
-  }
-  warn_flags_outside_schema(*experiment, parser);
-  return run_and_print(*experiment, params, format);
+  if (!out_path.empty() && !commit_out(out_path, buffer, "cvmt run"))
+    return 1;
+  return code;
 }
 
 }  // namespace
@@ -320,6 +394,7 @@ int run_experiment_main(std::string_view id, int argc,
           "`; every flag layers over its CVMT_* environment variable.");
   ExperimentParams::add_standard_flags(parser);
   add_format_flag(parser);
+  add_out_flag(parser);
   switch (parser.parse(argc, argv)) {
     case ArgParser::Outcome::kHelp: return 0;
     case ArgParser::Outcome::kError: return 2;
@@ -333,10 +408,18 @@ int run_experiment_main(std::string_view id, int argc,
     std::cerr << "bench " << id << ": " << e.what() << '\n';
     return 2;
   }
+  const std::string who = "bench " + std::string(id);
+  const std::string out_path = parser.get_string("out", "");
+  if (!out_path.empty() && !probe_out(out_path, who)) return 2;
+  std::ostringstream buffer;
+  std::ostream& os =
+      out_path.empty() ? static_cast<std::ostream&>(std::cout) : buffer;
   warn_flags_outside_schema(*experiment, parser);
-  return run_and_print(*experiment, params,
-                       format_from_string(parser.get_string("format",
-                                                            "table")));
+  const int code = run_and_print(
+      *experiment, params,
+      format_from_string(parser.get_string("format", "table")), os);
+  if (!out_path.empty() && !commit_out(out_path, buffer, who)) return 1;
+  return code;
 }
 
 int cvmt_main(int argc, const char* const* argv) {

@@ -27,8 +27,9 @@ ExperimentResult run(const RunContext& ctx) {
   serial_cfg.batch.workers = 1;
   const ExperimentConfig& parallel_cfg = ctx.params.cfg;
 
-  // Warm the process-wide program-library cache so neither timed run
-  // pays the one-time build cost (library_for caches per machine).
+  // Warm the process-wide artifact cache so neither timed run pays the
+  // one-time program/scheme build cost (ArtifactCache::global() is keyed
+  // per machine and shared by every batch worker).
   {
     SimConfig warm = serial_cfg.sim;
     warm.instruction_budget = 1'000;

@@ -25,6 +25,7 @@
 #include <chrono>
 
 #include "exp/runners/common.hpp"
+#include "sim/session.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/string_util.hpp"
@@ -337,12 +338,11 @@ ExperimentResult run(const RunContext& ctx) {
   const ExperimentConfig& cfg = ctx.params.cfg;
   const MachineConfig machine = cfg.sim.machine;
 
-  ProgramLibrary lib(machine);
-  lib.build_all();
   const Workload& wl = runners::workload_by_name("LMHH");
-  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
-  for (const std::string& name : wl.benchmarks)
-    programs.push_back(lib.lookup(name));
+  const std::shared_ptr<const CompiledWorkload> workload =
+      ArtifactCache::global().workload(wl.benchmarks, machine);
+  const std::vector<std::shared_ptr<const SyntheticProgram>>& programs =
+      workload->programs;
 
   const char* schemes[] = {"3CCC", "2SC3", "3SSS", "C4"};
   // Best-of-k wall time per cell: one-shot timings on a shared machine

@@ -5,6 +5,7 @@
 // the leftovers. Forces StatsLevel::kFull regardless of --stats: the
 // whole point is reading per-block reject counters.
 #include "exp/runners/common.hpp"
+#include "sim/session.hpp"
 #include "support/string_util.hpp"
 
 namespace cvmt {
@@ -12,7 +13,7 @@ namespace {
 
 Dataset efficiency_table(const ExperimentConfig& cfg,
                          const std::vector<std::string>& schemes,
-                         const Workload& wl, ProgramLibrary& lib) {
+                         const Workload& wl, SimSession& session) {
   // Histogram buckets past a scheme's thread count do not exist; those
   // cells are null and render as "-".
   const auto bucket = [](const char* name) {
@@ -24,8 +25,11 @@ Dataset efficiency_table(const ExperimentConfig& cfg,
              ColumnSpec::real("avg issued"), bucket("0 thr %"),
              bucket("1 thr %"), bucket("2 thr %"), bucket("3 thr %"),
              bucket("4 thr %"), ColumnSpec::str("reject % per block")});
+  const std::span<const std::string> benchmarks(wl.benchmarks.begin(),
+                                                wl.benchmarks.end());
   for (const std::string& name : schemes) {
-    const SimResult r = run_workload(Scheme::parse(name), wl, lib, cfg.sim);
+    const SimResult r =
+        session.run(Scheme::parse(name), benchmarks, cfg.sim);
     std::vector<Cell> row{name, r.ipc, r.issued_per_cycle.mean()};
     for (std::size_t k = 0; k <= 4; ++k) {
       if (k < r.issued_per_cycle.num_buckets())
@@ -53,8 +57,9 @@ ExperimentResult run(const RunContext& ctx) {
   std::vector<std::string> workloads = ctx.params.workloads;
   if (workloads.empty()) workloads = {"LMHH"};
 
-  ProgramLibrary lib(cfg.sim.machine);
-  lib.build_all();
+  // Programs and compiled schemes come from the shared artifact cache;
+  // the session reuses one SimInstance per scheme across workloads.
+  SimSession session;
 
   std::vector<std::string> schemes = ctx.params.schemes;
   if (schemes.empty())
@@ -64,8 +69,8 @@ ExperimentResult run(const RunContext& ctx) {
   for (const std::string& workload_name : workloads) {
     ResultSection s;
     s.title = "Merge efficiency per scheme (workload " + workload_name + ")";
-    s.data = efficiency_table(cfg, schemes,
-                              runners::workload_by_name(workload_name), lib);
+    s.data = efficiency_table(
+        cfg, schemes, runners::workload_by_name(workload_name), session);
     result.sections.push_back(std::move(s));
   }
   result.sections.back().note =

@@ -43,7 +43,7 @@ bool SetAssocCache::access(std::uint64_t addr) {
   // replacement bookkeeping. Only a miss pays for the victim search.
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
     Line& line = base[w];
-    if (line.valid && line.tag == tag) {
+    if (line.gen == gen_ && line.tag == tag) {
       line.last_used = clock_;
       stats_.record(true);
       return true;
@@ -54,10 +54,11 @@ bool SetAssocCache::access(std::uint64_t addr) {
   Line* victim = base;
   for (std::uint32_t w = 1; w < config_.ways; ++w) {
     Line& line = base[w];
-    if (!victim->valid) break;
-    if (!line.valid || line.last_used < victim->last_used) victim = &line;
+    if (victim->gen != gen_) break;
+    if (line.gen != gen_ || line.last_used < victim->last_used)
+      victim = &line;
   }
-  victim->valid = true;
+  victim->gen = gen_;
   victim->tag = tag;
   victim->last_used = clock_;
   stats_.record(false);
@@ -69,13 +70,18 @@ bool SetAssocCache::contains(std::uint64_t addr) const {
   const std::uint64_t tag = tag_of(addr);
   const Line* base = &lines_[set * config_.ways];
   for (std::uint32_t w = 0; w < config_.ways; ++w)
-    if (base[w].valid && base[w].tag == tag) return true;
+    if (base[w].gen == gen_ && base[w].tag == tag) return true;
   return false;
 }
 
 void SetAssocCache::flush() {
-  for (Line& line : lines_) line = Line{};
+  ++gen_;  // every line's generation is now stale = invalid
   clock_ = 0;
+}
+
+void SetAssocCache::reset() {
+  flush();
+  stats_ = RatioCounter{};
 }
 
 }  // namespace cvmt

@@ -25,6 +25,9 @@ struct CacheConfig {
   [[nodiscard]] std::uint64_t num_sets() const {
     return size_bytes / (static_cast<std::uint64_t>(line_bytes) * ways);
   }
+
+  [[nodiscard]] friend bool operator==(const CacheConfig&,
+                                       const CacheConfig&) = default;
 };
 
 /// Blocking set-associative cache with true LRU. Tag state only — data
@@ -41,7 +44,15 @@ class SetAssocCache {
   [[nodiscard]] bool contains(std::uint64_t addr) const;
 
   /// Invalidates all lines and resets the LRU clock (stats are kept).
+  /// O(1): validity is generation-tagged, so no line is touched.
   void flush();
+
+  /// Restores the freshly-constructed state: every line invalid, LRU clock
+  /// and statistics zeroed. Unlike flush(), a reset cache is bit-identical
+  /// to a newly built one — the session layer reuses cache arrays across
+  /// runs on this guarantee. O(1) (generation bump), which is what makes
+  /// per-run instance reuse cheaper than reconstruction.
+  void reset();
 
   [[nodiscard]] const CacheConfig& config() const { return config_; }
   [[nodiscard]] const RatioCounter& stats() const { return stats_; }
@@ -50,10 +61,15 @@ class SetAssocCache {
   }
 
  private:
+  /// A line is valid iff `gen` equals the cache's current generation.
+  /// flush()/reset() invalidate every line by bumping the generation —
+  /// O(1) instead of rewriting the (tens-of-KB) line array, so reusing a
+  /// cache across simulation runs costs nothing. Lines start at gen 0,
+  /// the cache at gen 1: a fresh cache has only invalid lines.
   struct Line {
     std::uint64_t tag = 0;
     std::uint64_t last_used = 0;
-    bool valid = false;
+    std::uint64_t gen = 0;
   };
 
   [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const;
@@ -66,6 +82,7 @@ class SetAssocCache {
   std::uint32_t line_shift_ = 0;
   std::uint32_t set_shift_ = 0;
   std::vector<Line> lines_;  // num_sets_ x ways, row-major
+  std::uint64_t gen_ = 1;
   std::uint64_t clock_ = 0;
   RatioCounter stats_;
 };

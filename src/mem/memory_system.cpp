@@ -40,6 +40,11 @@ MemAccessResult MemorySystem::data_access(int tid, std::uint64_t addr) {
   return {hit, hit ? 0 : config_.dcache.miss_penalty};
 }
 
+void MemorySystem::reset() {
+  for (SetAssocCache& c : icaches_) c.reset();
+  for (SetAssocCache& c : dcaches_) c.reset();
+}
+
 RatioCounter MemorySystem::icache_stats() const {
   RatioCounter total;
   for (const auto& c : icaches_) {

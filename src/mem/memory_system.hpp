@@ -25,6 +25,9 @@ struct MemorySystemConfig {
   CacheSharing sharing = CacheSharing::kShared;
   /// Perfect memory: every access hits (paper's IPCp measurements).
   bool perfect = false;
+
+  [[nodiscard]] friend bool operator==(const MemorySystemConfig&,
+                                       const MemorySystemConfig&) = default;
 };
 
 /// Result of a timed memory access.
@@ -43,6 +46,12 @@ class MemorySystem {
 
   /// Data access (load or store) by hardware thread `tid`.
   MemAccessResult data_access(int tid, std::uint64_t addr);
+
+  /// Restores the freshly-constructed state of every cache (lines, LRU
+  /// clocks and statistics) without reallocating the arrays. A reset
+  /// memory system is bit-identical to a newly built one; the session
+  /// layer reuses it across runs.
+  void reset();
 
   [[nodiscard]] const MemorySystemConfig& config() const { return config_; }
 

@@ -17,6 +17,29 @@ MultithreadedCore::MultithreadedCore(const MachineConfig& machine,
       miss_policy_(miss_policy),
       options_(options) {}
 
+MultithreadedCore::MultithreadedCore(const MachineConfig& machine,
+                                     Scheme scheme,
+                                     std::shared_ptr<const MergePlan> plan,
+                                     PriorityPolicy priority,
+                                     MemorySystem& mem,
+                                     MissPolicy miss_policy,
+                                     CoreOptions options)
+    : machine_(machine),
+      engine_(std::move(scheme), std::move(plan), machine, priority,
+              options.stats, options.eval_mode),
+      mem_(mem),
+      miss_policy_(miss_policy),
+      options_(options) {}
+
+void MultithreadedCore::reset(PriorityPolicy priority, MissPolicy miss_policy,
+                              CoreOptions options) {
+  miss_policy_ = miss_policy;
+  options_ = options;
+  slots_.fill(nullptr);
+  stats_ = CoreStats{};
+  engine_.reset(priority, options.stats, options.eval_mode);
+}
+
 void MultithreadedCore::set_thread(int slot, ThreadContext* thread) {
   CVMT_CHECK(slot >= 0 && slot < num_slots());
   slots_[static_cast<std::size_t>(slot)] = thread;

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "core/merge_engine.hpp"
 #include "sim/thread_context.hpp"
@@ -48,6 +49,21 @@ class MultithreadedCore {
   MultithreadedCore(const MachineConfig& machine, Scheme scheme,
                     PriorityPolicy priority, MemorySystem& mem,
                     MissPolicy miss_policy, CoreOptions options = {});
+
+  /// Construction from a pre-compiled merge plan (shared via the session
+  /// layer's CompiledScheme); behaves exactly like the compiling
+  /// constructor.
+  MultithreadedCore(const MachineConfig& machine, Scheme scheme,
+                    std::shared_ptr<const MergePlan> plan,
+                    PriorityPolicy priority, MemorySystem& mem,
+                    MissPolicy miss_policy, CoreOptions options = {});
+
+  /// Restores the freshly-constructed state under (possibly new) policy
+  /// knobs: all slots unbound, core counters zeroed, merge engine reset.
+  /// Does NOT touch the memory system (the caller owns it and resets it
+  /// separately). Bit-identical to constructing a new core.
+  void reset(PriorityPolicy priority, MissPolicy miss_policy,
+             CoreOptions options);
 
   /// Number of hardware thread slots (the scheme's thread count).
   [[nodiscard]] int num_slots() const { return engine_.scheme().num_threads(); }

@@ -1,0 +1,304 @@
+#include "sim/session.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+namespace {
+
+// --- canonical cache keys -------------------------------------------------
+// Keys are exact: integers in decimal, doubles by bit pattern (two profiles
+// differing in the last ulp are different artifacts — cheaper and safer
+// than deciding a tolerance).
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+  out += ',';
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+  out += ',';
+}
+
+void append_double(std::string& out, double v) {
+  append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void append_machine(std::string& out, const MachineConfig& m) {
+  append_i64(out, m.num_clusters);
+  append_i64(out, m.issue_per_cluster);
+  append_u64(out, m.mul_slot_mask);
+  append_u64(out, m.mem_slot_mask);
+  append_u64(out, m.branch_slot_mask);
+  append_i64(out, m.alu_latency);
+  append_i64(out, m.mul_latency);
+  append_i64(out, m.mem_latency);
+  append_i64(out, m.taken_branch_penalty);
+}
+
+std::string profile_program_key(const BenchmarkProfile& p,
+                                const MachineConfig& machine) {
+  std::string key = "P|";
+  key += p.name;
+  key += '|';
+  key += to_char(p.ilp);
+  key += '|';
+  append_double(key, p.target_ipc_real);
+  append_double(key, p.target_ipc_perfect);
+  append_i64(key, p.num_loops);
+  append_double(key, p.mean_body_instrs);
+  append_double(key, p.mean_trip_count);
+  append_double(key, p.mean_ops_per_instr);
+  append_double(key, p.mem_op_frac);
+  append_double(key, p.store_frac);
+  append_double(key, p.mul_op_frac);
+  append_double(key, p.mid_branch_frac);
+  append_double(key, p.mid_branch_taken);
+  append_double(key, p.ops_per_cluster_target);
+  append_u64(key, p.hot_bytes);
+  append_u64(key, p.hot_stride);
+  append_i64(key, p.assumed_miss_penalty);
+  append_u64(key, p.code_bytes_per_instr);
+  append_u64(key, p.seed);
+  key += '@';
+  append_machine(key, machine);
+  return key;
+}
+
+}  // namespace
+
+// --- CompiledScheme -------------------------------------------------------
+
+CompiledScheme::CompiledScheme(Scheme scheme, const MachineConfig& machine)
+    : scheme_(std::move(scheme)), machine_(machine) {
+  machine_.validate();
+  plan_ = std::make_shared<const MergePlan>(scheme_, machine_);
+  key_ = make_key(scheme_, machine_);
+}
+
+std::string CompiledScheme::make_key(const Scheme& scheme,
+                                     const MachineConfig& machine) {
+  // The display name is keyed alongside the canonical tree: SimResult
+  // carries the name, so "3SCC" and a functionally identical
+  // "C(C(S(0,1),2),3)" must not share one artifact.
+  std::string key = "S|";
+  key += scheme.name();
+  key += '|';
+  key += scheme.canonical();
+  key += '@';
+  append_machine(key, machine);
+  return key;
+}
+
+// --- ArtifactCache --------------------------------------------------------
+
+std::shared_ptr<const CompiledScheme> ArtifactCache::scheme(
+    const Scheme& scheme, const MachineConfig& machine) {
+  const std::string key = CompiledScheme::make_key(scheme, machine);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = schemes_.find(key); it != schemes_.end()) return it->second;
+  auto compiled = std::make_shared<const CompiledScheme>(scheme, machine);
+  schemes_.emplace(key, compiled);
+  return compiled;
+}
+
+std::shared_ptr<const SyntheticProgram> ArtifactCache::program_locked(
+    const BenchmarkProfile& profile, const MachineConfig& machine) {
+  const std::string key = profile_program_key(profile, machine);
+  if (auto it = programs_.find(key); it != programs_.end())
+    return it->second;
+  auto program =
+      std::make_shared<const SyntheticProgram>(profile, machine);
+  programs_.emplace(key, program);
+  return program;
+}
+
+std::shared_ptr<const SyntheticProgram> ArtifactCache::program(
+    const BenchmarkProfile& profile, const MachineConfig& machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return program_locked(profile, machine);
+}
+
+std::shared_ptr<const SyntheticProgram> ArtifactCache::program(
+    std::string_view benchmark, const MachineConfig& machine) {
+  const BenchmarkProfile& profile = profile_by_name(benchmark);
+  std::lock_guard<std::mutex> lock(mu_);
+  return program_locked(profile, machine);
+}
+
+std::shared_ptr<const CompiledWorkload> ArtifactCache::workload(
+    std::span<const std::string> benchmarks, const MachineConfig& machine) {
+  std::string key = "W|";
+  for (const std::string& b : benchmarks) {
+    key += b;
+    key += ',';
+  }
+  key += '@';
+  append_machine(key, machine);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = workloads_.find(key); it != workloads_.end())
+    return it->second;
+  auto compiled = std::make_shared<CompiledWorkload>();
+  compiled->key = key;
+  compiled->programs.reserve(benchmarks.size());
+  for (const std::string& b : benchmarks)
+    compiled->programs.push_back(
+        program_locked(profile_by_name(b), machine));
+  std::shared_ptr<const CompiledWorkload> shared = std::move(compiled);
+  workloads_.emplace(std::move(key), shared);
+  return shared;
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  schemes_.clear();
+  programs_.clear();
+  workloads_.clear();
+}
+
+std::size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schemes_.size() + programs_.size() + workloads_.size();
+}
+
+ArtifactCache& ArtifactCache::global() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+// --- SimInstance ----------------------------------------------------------
+
+std::shared_ptr<const CompiledScheme> SimInstance::checked(
+    std::shared_ptr<const CompiledScheme> scheme) {
+  CVMT_CHECK_MSG(scheme != nullptr, "SimInstance needs a compiled scheme");
+  return scheme;
+}
+
+SimInstance::SimInstance(std::shared_ptr<const CompiledScheme> scheme,
+                         const SimConfig& config)
+    : scheme_(checked(std::move(scheme))),
+      config_(config),
+      mem_(config_.mem, scheme_->scheme().num_threads()),
+      core_(scheme_->machine(), scheme_->scheme(), scheme_->plan(),
+            config_.priority, mem_, config_.miss_policy,
+            CoreOptions{config_.stats, config_.eval_mode,
+                        config_.stall_fast_forward}) {
+  CVMT_CHECK_MSG(config_.machine == scheme_->machine(),
+                 "SimConfig.machine must equal the compiled scheme's "
+                 "machine");
+}
+
+void SimInstance::set_config(const SimConfig& config) {
+  CVMT_CHECK_MSG(config.machine == scheme_->machine(),
+                 "SimInstance is bound to its compiled scheme's machine");
+  // A memory-geometry change is the one knob construction bakes into the
+  // arrays; everything else is applied by run()'s entry reset.
+  const bool mem_changed = !(config.mem == config_.mem);
+  config_ = config;
+  if (mem_changed)
+    mem_ = MemorySystem(config_.mem, scheme_->scheme().num_threads());
+}
+
+void SimInstance::reset() {
+  mem_.reset();
+  core_.reset(config_.priority, config_.miss_policy,
+              CoreOptions{config_.stats, config_.eval_mode,
+                          config_.stall_fast_forward});
+  threads_.clear();
+}
+
+SimResult SimInstance::run(
+    std::span<const std::shared_ptr<const SyntheticProgram>> programs) {
+  CVMT_CHECK_MSG(!programs.empty(), "empty workload");
+
+  // In-place reset of all run state — bit-identical to constructing every
+  // component afresh (the golden tests pin this), reusing the allocations.
+  mem_.reset();
+  core_.reset(config_.priority, config_.miss_policy,
+              CoreOptions{config_.stats, config_.eval_mode,
+                          config_.stall_fast_forward});
+  if (threads_.size() > programs.size()) threads_.resize(programs.size());
+  threads_.reserve(programs.size());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    CVMT_CHECK(programs[i] != nullptr);
+    CVMT_CHECK_MSG(programs[i]->machine() == config_.machine,
+                   "program compiled for a different machine");
+    const std::uint64_t stream_seed =
+        config_.stream_seed_base + 0x1000ULL * i;
+    if (i < threads_.size())
+      threads_[i]->reset(programs[i]->profile().name, programs[i],
+                         stream_seed, config_.instruction_budget);
+    else
+      threads_.push_back(std::make_shared<ThreadContext>(
+          programs[i]->profile().name, programs[i], stream_seed,
+          config_.instruction_budget));
+  }
+
+  OsScheduler os(threads_, config_.timeslice_cycles, config_.os_seed);
+  const std::uint64_t cycles = os.run(core_, config_.max_cycles);
+
+  SimResult r;
+  r.scheme = scheme_->scheme().name();
+  r.cycles = cycles;
+  r.total_ops = core_.stats().total_ops;
+  r.total_instructions = core_.stats().total_instructions;
+  r.idle_cycles = core_.stats().idle_cycles;
+  r.ipc = cycles ? static_cast<double>(r.total_ops) /
+                       static_cast<double>(cycles)
+                 : 0.0;
+  for (const auto& t : threads_) {
+    ThreadResult tr;
+    tr.benchmark = t->name();
+    tr.instructions = t->stats().instructions;
+    tr.ops = t->stats().ops;
+    tr.stats = t->stats();
+    r.threads.push_back(std::move(tr));
+  }
+  r.icache = mem_.icache_stats();
+  r.dcache = mem_.dcache_stats();
+  r.issued_per_cycle = core_.engine().issued_histogram();
+  r.merge_nodes = core_.engine().node_stats();
+  r.os = os.stats();
+  return r;
+}
+
+// --- SimSession -----------------------------------------------------------
+
+SimInstance& SimSession::instance_for(const Scheme& scheme,
+                                      const SimConfig& config) {
+  const std::string key = CompiledScheme::make_key(scheme, config.machine);
+  if (auto it = instances_.find(key); it != instances_.end()) {
+    it->second->set_config(config);
+    return *it->second;
+  }
+  // Evict a single entry at the bound, not the whole pool: a sweep that
+  // cycles through more than kMaxInstances keys must degrade gradually,
+  // not fall off a rebuild-everything cliff.
+  if (instances_.size() >= kMaxInstances)
+    instances_.erase(instances_.begin());
+  auto compiled = artifacts_.scheme(scheme, config.machine);
+  const auto [it, inserted] = instances_.emplace(
+      key, std::make_unique<SimInstance>(std::move(compiled), config));
+  return *it->second;
+}
+
+SimResult SimSession::run(
+    const Scheme& scheme,
+    std::span<const std::shared_ptr<const SyntheticProgram>> programs,
+    const SimConfig& config) {
+  return instance_for(scheme, config).run(programs);
+}
+
+SimResult SimSession::run(const Scheme& scheme,
+                          std::span<const std::string> benchmarks,
+                          const SimConfig& config) {
+  const std::shared_ptr<const CompiledWorkload> workload =
+      artifacts_.workload(benchmarks, config.machine);
+  return instance_for(scheme, config).run(*workload);
+}
+
+}  // namespace cvmt

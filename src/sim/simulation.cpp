@@ -1,5 +1,7 @@
 #include "sim/simulation.hpp"
 
+#include "sim/session.hpp"
+
 namespace cvmt {
 
 SimResult run_simulation(
@@ -8,51 +10,13 @@ SimResult run_simulation(
     const SimConfig& config) {
   CVMT_CHECK_MSG(!programs.empty(), "empty workload");
   config.machine.validate();
-
-  MemorySystem mem(config.mem, scheme.num_threads());
-  const CoreOptions core_options{config.stats, config.eval_mode,
-                                 config.stall_fast_forward};
-  MultithreadedCore core(config.machine, scheme, config.priority, mem,
-                         config.miss_policy, core_options);
-
-  std::vector<std::shared_ptr<ThreadContext>> threads;
-  threads.reserve(programs.size());
-  for (std::size_t i = 0; i < programs.size(); ++i) {
-    CVMT_CHECK(programs[i] != nullptr);
-    CVMT_CHECK_MSG(programs[i]->machine() == config.machine,
-                   "program compiled for a different machine");
-    threads.push_back(std::make_shared<ThreadContext>(
-        programs[i]->profile().name, programs[i],
-        config.stream_seed_base + 0x1000ULL * i,
-        config.instruction_budget));
-  }
-
-  OsScheduler os(threads, config.timeslice_cycles, config.os_seed);
-  const std::uint64_t cycles = os.run(core, config.max_cycles);
-
-  SimResult r;
-  r.scheme = scheme.name();
-  r.cycles = cycles;
-  r.total_ops = core.stats().total_ops;
-  r.total_instructions = core.stats().total_instructions;
-  r.idle_cycles = core.stats().idle_cycles;
-  r.ipc = cycles ? static_cast<double>(r.total_ops) /
-                       static_cast<double>(cycles)
-                 : 0.0;
-  for (const auto& t : threads) {
-    ThreadResult tr;
-    tr.benchmark = t->name();
-    tr.instructions = t->stats().instructions;
-    tr.ops = t->stats().ops;
-    tr.stats = t->stats();
-    r.threads.push_back(std::move(tr));
-  }
-  r.icache = mem.icache_stats();
-  r.dcache = mem.dcache_stats();
-  r.issued_per_cycle = core.engine().issued_histogram();
-  r.merge_nodes = core.engine().node_stats();
-  r.os = os.stats();
-  return r;
+  // One-shot session: compile, run once, discard. Sweeps that run many
+  // configurations keep a SimSession / SimInstance instead (sim/session.hpp)
+  // and reuse the compiled artifacts and run-state buffers.
+  SimInstance instance(
+      std::make_shared<const CompiledScheme>(scheme, config.machine),
+      config);
+  return instance.run(programs);
 }
 
 SimResult run_workload(const Scheme& scheme, const Workload& workload,

@@ -1,7 +1,9 @@
 // Top-level simulation facade: configure machine + memory + scheme +
-// workload, run, collect a structured result. This is the main public
-// entry point of the library (examples and the experiment harness are thin
-// layers over run_simulation).
+// workload, run, collect a structured result. run_simulation is the
+// one-shot entry point; sweeps that run many configurations go through
+// the session layer (sim/session.hpp), which splits the build step
+// (compiled schemes and workloads, cached and shared) from the run step
+// (reusable SimInstances). Both paths are bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +20,7 @@ namespace cvmt {
 /// All knobs of one simulation run. Defaults model the paper's machine at
 /// laptop-scale run lengths (the paper uses a 1M-cycle timeslice and 100M
 /// instruction budget; relative results are stable under the scale-down,
-/// see EXPERIMENTS.md).
+/// see DESIGN.md "Run-length scale-down").
 struct SimConfig {
   MachineConfig machine = MachineConfig::vex4x4();
   MemorySystemConfig mem;  ///< 64KB 4-way I/D, 20-cycle penalty, shared

@@ -14,6 +14,23 @@ ThreadContext::ThreadContext(std::string name,
   CVMT_CHECK(budget_ >= 1);
 }
 
+void ThreadContext::reset(std::string_view name,
+                          std::shared_ptr<const SyntheticProgram> program,
+                          std::uint64_t stream_seed,
+                          std::uint64_t instruction_budget) {
+  name_.assign(name);
+  gen_.reset(std::move(program), stream_seed);
+  budget_ = instruction_budget;
+  CVMT_CHECK(budget_ >= 1);
+  has_pending_ = false;
+  done_ = false;
+  pending_fp_ = nullptr;
+  pending_ = nullptr;
+  pending_patches_ = nullptr;
+  ready_at_ = 0;
+  stats_ = ThreadStats{};
+}
+
 void ThreadContext::refill(std::uint64_t cycle, MemorySystem& mem,
                            int hw_tid) {
   gen_.advance();

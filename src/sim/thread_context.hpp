@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "isa/machine_config.hpp"
 #include "mem/memory_system.hpp"
@@ -48,6 +49,14 @@ class ThreadContext {
   // pointer (see OsScheduler), never by value.
   ThreadContext(const ThreadContext&) = delete;
   ThreadContext& operator=(const ThreadContext&) = delete;
+
+  /// Rebinds this context to a fresh execution, bit-identical to
+  /// constructing a new ThreadContext with the same arguments but reusing
+  /// the string/cursor allocations. The session layer recycles contexts
+  /// across runs on this guarantee.
+  void reset(std::string_view name,
+             std::shared_ptr<const SyntheticProgram> program,
+             std::uint64_t stream_seed, std::uint64_t instruction_budget);
 
   /// Offers this thread's next instruction for merging at `cycle`.
   /// Fetches (and charges ICache penalties) lazily; returns nullptr while

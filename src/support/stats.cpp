@@ -1,5 +1,6 @@
 #include "support/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/check.hpp"
@@ -47,6 +48,12 @@ void Histogram::add(std::size_t value, std::uint64_t weight) {
   counts_[b] += weight;
   total_ += weight;
   weighted_sum_ += weight * value;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  weighted_sum_ = 0;
 }
 
 std::uint64_t Histogram::bucket(std::size_t i) const {

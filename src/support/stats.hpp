@@ -43,6 +43,11 @@ class Histogram {
 
   void add(std::size_t value, std::uint64_t weight = 1);
 
+  /// Zeroes every bucket and the totals; the bucket count is kept. A reset
+  /// histogram is indistinguishable from a freshly constructed one (the
+  /// session layer reuses result buffers across runs on this guarantee).
+  void reset();
+
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
   [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t total() const { return total_; }

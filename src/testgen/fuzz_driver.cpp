@@ -5,6 +5,7 @@
 #include <future>
 #include <iostream>
 
+#include "sim/session.hpp"
 #include "support/args.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
@@ -13,13 +14,22 @@
 namespace cvmt {
 namespace {
 
-/// Oracle failure as a predicate for the shrinker.
-bool oracle_fails(const FuzzCase& c) { return !run_oracles(c).ok; }
+/// Shrinks `failing` against the oracles, with one ArtifactCache scoped
+/// to the whole minimization: shrink candidates mutate the scheme and
+/// run knobs far more often than the profiles, so most of the hundreds
+/// of oracle evaluations reuse the already-built programs instead of
+/// rebuilding them from scratch.
+ShrinkResult shrink_against_oracles(const FuzzCase& failing) {
+  ArtifactCache artifacts;
+  return shrink_case(failing, [&artifacts](const FuzzCase& c) {
+    return !run_oracles(c, artifacts).ok;
+  });
+}
 
 void shrink_failures(FuzzSweepResult& sweep) {
   for (FuzzOutcome& o : sweep.outcomes) {
     if (o.report.ok) continue;
-    const ShrinkResult s = shrink_case(o.c, oracle_fails);
+    const ShrinkResult s = shrink_against_oracles(o.c);
     o.shrunk = true;
     o.minimized = s.minimized;
     o.minimized_report = run_oracles(o.minimized);
@@ -166,7 +176,7 @@ int fuzz_main(int argc, const char* const* argv) {
     std::cout << c.label << ": " << report.to_string() << '\n'
               << "  " << c.summary() << '\n';
     if (!report.ok && parser.get_flag("shrink")) {
-      const ShrinkResult s = shrink_case(c, oracle_fails);
+      const ShrinkResult s = shrink_against_oracles(c);
       std::cout << "shrunk (" << s.attempts << " attempts): "
                 << s.minimized.summary() << '\n'
                 << s.minimized.to_json().dump() << '\n';

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/session.hpp"
 #include "support/check.hpp"
 
 namespace cvmt {
@@ -13,6 +14,19 @@ std::string diff(const std::string& what, const T& a, const T& b) {
   std::ostringstream os;
   os << what << ": " << a << " != " << b;
   return os.str();
+}
+
+/// The case's programs, through `artifacts` when provided (profile-content
+/// keyed, so repeated builds of an unchanged profile are cache hits).
+std::vector<std::shared_ptr<const SyntheticProgram>> case_programs(
+    const FuzzCase& c, ArtifactCache* artifacts) {
+  if (artifacts == nullptr) return c.build_programs();
+  CVMT_CHECK_MSG(!c.profiles.empty(), "fuzz case has no software threads");
+  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  programs.reserve(c.profiles.size());
+  for (const BenchmarkProfile& p : c.profiles)
+    programs.push_back(artifacts->program(p, c.sim.machine));
+  return programs;
 }
 
 }  // namespace
@@ -111,24 +125,36 @@ std::string OracleReport::to_string() const {
   return failed_oracle + ": " + mismatch;
 }
 
-OracleReport run_oracles(const FuzzCase& c) {
+namespace {
+
+OracleReport run_oracles_impl(const FuzzCase& c, ArtifactCache* artifacts) {
   OracleReport report;
   try {
     const Scheme scheme = c.parse_scheme();
     const std::vector<std::shared_ptr<const SyntheticProgram>> programs =
-        c.build_programs();
+        case_programs(c, artifacts);
 
     SimConfig baseline_cfg = c.sim;
     baseline_cfg.stats = StatsLevel::kFull;
     baseline_cfg.eval_mode = EvalMode::kPlan;
     baseline_cfg.stall_fast_forward = true;
-    const SimResult baseline =
-        run_simulation(scheme, programs, baseline_cfg);
+
+    // All sweep configurations share one SimInstance: the scheme is
+    // compiled once and the run state is reset in place between
+    // configurations. This exercises the session layer's reuse contract
+    // (mixed stats levels and eval modes on one instance) on every fuzz
+    // case; the replay oracle below closes the loop against the
+    // fresh-construction facade.
+    SimInstance instance(
+        std::make_shared<const CompiledScheme>(scheme, c.sim.machine),
+        baseline_cfg);
+    const SimResult baseline = instance.run(programs);
     ++report.simulations;
 
-    const auto check = [&](const char* name, const SimConfig& cfg,
-                           bool compare_merge_stats) -> SimResult {
-      SimResult result = run_simulation(scheme, programs, cfg);
+    // Shared bookkeeping of every oracle: count the simulation, compare
+    // against the baseline, record the first failure.
+    const auto record = [&](const char* name, const SimResult& result,
+                            bool compare_merge_stats) {
       ++report.simulations;
       const std::string mismatch =
           compare_sim_results(baseline, result, compare_merge_stats);
@@ -137,6 +163,12 @@ OracleReport run_oracles(const FuzzCase& c) {
         report.failed_oracle = name;
         report.mismatch = mismatch;
       }
+    };
+    const auto check = [&](const char* name, const SimConfig& cfg,
+                           bool compare_merge_stats) -> SimResult {
+      instance.set_config(cfg);
+      SimResult result = instance.run(programs);
+      record(name, result, compare_merge_stats);
       return result;
     };
 
@@ -184,13 +216,29 @@ OracleReport run_oracles(const FuzzCase& c) {
       }
     }
 
-    // Oracle 4: a fresh identical run reproduces bit-identically.
-    check("baseline-vs-replay", baseline_cfg, /*compare_merge_stats=*/true);
+    // Oracle 4: a fresh identical run reproduces bit-identically. This
+    // one deliberately bypasses the shared instance and goes through the
+    // one-shot run_simulation facade, so it checks determinism AND that
+    // instance reuse (oracles 1-3 reset the same instance) never diverges
+    // from fresh construction.
+    record("baseline-vs-replay",
+           run_simulation(scheme, programs, baseline_cfg),
+           /*compare_merge_stats=*/true);
   } catch (const CheckError& e) {
     report.ok = false;
     report.construction_error = e.what();
   }
   return report;
+}
+
+}  // namespace
+
+OracleReport run_oracles(const FuzzCase& c) {
+  return run_oracles_impl(c, nullptr);
+}
+
+OracleReport run_oracles(const FuzzCase& c, ArtifactCache& artifacts) {
+  return run_oracles_impl(c, &artifacts);
 }
 
 }  // namespace cvmt

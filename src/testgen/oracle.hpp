@@ -20,6 +20,8 @@
 
 namespace cvmt {
 
+class ArtifactCache;
+
 /// Outcome of one oracle run over one case.
 struct OracleReport {
   bool ok = true;
@@ -47,8 +49,19 @@ struct OracleReport {
                                               bool compare_merge_stats);
 
 /// Runs every oracle over `c`. All simulation configurations share the
-/// case's programs (built once — SyntheticProgram is immutable), so a run
-/// costs five small simulations.
+/// case's programs (built once — SyntheticProgram is immutable) and one
+/// reusable SimInstance (compiled once, reset between configurations);
+/// the replay oracle re-runs through the one-shot run_simulation facade,
+/// so instance reuse itself is cross-checked on every case. A run costs
+/// five small simulations.
 [[nodiscard]] OracleReport run_oracles(const FuzzCase& c);
+
+/// run_oracles with the case's programs materialized through `artifacts`
+/// (keyed by full profile content + machine). The shrinker uses this: its
+/// candidates mutate budgets, machine shape and the scheme far more often
+/// than the profiles, so consecutive attempts on one failing case mostly
+/// hit the cache instead of rebuilding every program.
+[[nodiscard]] OracleReport run_oracles(const FuzzCase& c,
+                                       ArtifactCache& artifacts);
 
 }  // namespace cvmt

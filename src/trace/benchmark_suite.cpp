@@ -104,6 +104,9 @@ ProgramLibrary::ProgramLibrary(MachineConfig machine) : machine_(machine) {
 
 std::shared_ptr<const SyntheticProgram> ProgramLibrary::get(
     std::string_view name) {
+  // The (rare) build happens under the lock: a concurrent second request
+  // for the same name blocks until the first finishes, then hits.
+  std::lock_guard<std::mutex> lock(mu_);
   if (auto it = cache_.find(name); it != cache_.end()) return it->second;
   auto program = std::make_shared<const SyntheticProgram>(
       profile_by_name(name), machine_);
@@ -113,6 +116,7 @@ std::shared_ptr<const SyntheticProgram> ProgramLibrary::get(
 
 std::shared_ptr<const SyntheticProgram> ProgramLibrary::lookup(
     std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = cache_.find(name);
   CVMT_CHECK_MSG(it != cache_.end(),
                  "program not built: " + std::string(name));

@@ -14,6 +14,18 @@ TraceGenerator::TraceGenerator(
     : program_(std::move(program)),
       rng_(SplitMix64(stream_seed ^ 0xabcdef12345ULL).next()) {
   CVMT_CHECK(program_ != nullptr);
+  start_stream(stream_seed);
+}
+
+void TraceGenerator::reset(std::shared_ptr<const SyntheticProgram> program,
+                           std::uint64_t stream_seed) {
+  CVMT_CHECK(program != nullptr);
+  program_ = std::move(program);
+  rng_ = Xoshiro256(SplitMix64(stream_seed ^ 0xabcdef12345ULL).next());
+  start_stream(stream_seed);
+}
+
+void TraceGenerator::start_stream(std::uint64_t stream_seed) {
   // 1MB-granular address-space salt: keeps threads disjoint in shared
   // caches while preserving intra-thread set behaviour.
   SplitMix64 sm(stream_seed);
@@ -25,6 +37,12 @@ TraceGenerator::TraceGenerator(
   for (std::size_t l = 0; l < n; ++l)
     hot_stride_mod_[l] =
         program_->profile().hot_stride % program_->loops()[l].hot_window;
+  cur_fp_ = nullptr;
+  cur_patches_ = nullptr;
+  cur_tmpl_ = nullptr;
+  cur_is_scratch_ = false;
+  cur_pc_ = 0;
+  emitted_ = 0;
   enter_next_loop();
 }
 

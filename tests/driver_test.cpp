@@ -3,7 +3,10 @@
 // byte-identical for any batch-runner worker count under fixed seeds.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "exp/driver.hpp"
 #include "support/check.hpp"
@@ -155,6 +158,61 @@ TEST(Driver, SchemeAndWorkloadFiltersNarrowFig10) {
   EXPECT_EQ(section.get("columns").size(), 3u);  // Workload + 2 schemes
   EXPECT_EQ(section.get("rows").size(), 2u);     // LLHH + Average
   EXPECT_EQ(v.get("params").get("schemes").size(), 2u);
+}
+
+TEST(Driver, OutFlagWritesTheSameBytesAsStdout) {
+  // fig9 is cost-only (no simulation), so both runs are fast and
+  // deterministic. The contract: --out=FILE carries exactly the bytes the
+  // stdout path would.
+  const char* stdout_argv[] = {"cvmt", "run", "fig9", "--format=csv"};
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(cvmt_main(4, stdout_argv), 0);
+  const std::string via_stdout = testing::internal::GetCapturedStdout();
+  ASSERT_FALSE(via_stdout.empty());
+
+  const std::string path =
+      testing::TempDir() + "cvmt_driver_out_test.csv";
+  const std::string out_flag = "--out=" + path;
+  const char* file_argv[] = {"cvmt", "run", "fig9", "--format=csv",
+                             out_flag.c_str()};
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(cvmt_main(5, file_argv), 0);
+  EXPECT_EQ(testing::internal::GetCapturedStdout(), "");  // all in the file
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), via_stdout);
+  std::remove(path.c_str());
+}
+
+TEST(Driver, OutFlagDoesNotTruncateOnUnknownExperimentId) {
+  // A typo'd id must fail BEFORE the --out file is opened (opening
+  // truncates), so an existing report survives the mistake.
+  const std::string path = testing::TempDir() + "cvmt_out_preserved.txt";
+  {
+    std::ofstream f(path);
+    f << "previous report";
+  }
+  const std::string out_flag = "--out=" + path;
+  const char* argv[] = {"cvmt", "run", "fgi10", out_flag.c_str()};
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(cvmt_main(4, argv), 2);
+  EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+  std::ifstream in(path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "previous report");
+  std::remove(path.c_str());
+}
+
+TEST(Driver, OutFlagToUnwritablePathIsAUsageError) {
+  const char* argv[] = {"cvmt", "run", "fig9",
+                        "--out=/nonexistent-dir/x/report.txt"};
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(cvmt_main(4, argv), 2);
+  EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
 }
 
 TEST(Driver, MachineShapeFlagChangesTheMachine) {

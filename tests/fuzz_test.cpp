@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "exp/registry.hpp"
+#include "sim/session.hpp"
 #include "testgen/fuzz_driver.hpp"
 #include "testgen/generators.hpp"
 
@@ -128,6 +129,26 @@ TEST(OracleTest, MalformedCaseFailsWithConstructionError) {
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.construction_error.find("duplicate thread id"),
             std::string::npos);
+}
+
+TEST(OracleTest, CacheBackedOraclesMatchThePlainPath) {
+  // The shrinker's variant: programs come from an ArtifactCache (keyed
+  // by profile content) instead of being rebuilt per evaluation. Same
+  // verdicts, same simulation count — and repeated evaluations of one
+  // case reuse the cached programs.
+  ArtifactCache artifacts;
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const FuzzCase c = generate_case(seed);
+    const OracleReport plain = run_oracles(c);
+    const OracleReport cached = run_oracles(c, artifacts);
+    EXPECT_EQ(plain.ok, cached.ok) << c.summary();
+    EXPECT_EQ(plain.simulations, cached.simulations);
+    EXPECT_EQ(plain.to_string(), cached.to_string());
+  }
+  const std::size_t warm = artifacts.size();
+  EXPECT_GT(warm, 0u);
+  (void)run_oracles(generate_case(11), artifacts);  // all hits
+  EXPECT_EQ(artifacts.size(), warm);
 }
 
 // ----------------------------------------------------- corpus + sweeps

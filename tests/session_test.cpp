@@ -1,0 +1,274 @@
+// The session layer: compiled artifacts, the shared ArtifactCache, the
+// reusable SimInstance and the per-worker SimSession. The load-bearing
+// property throughout is strict bit-identity between every reuse path and
+// the one-shot run_simulation facade (compare_sim_results checks every
+// SimResult counter).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "sim/session.hpp"
+#include "support/check.hpp"
+#include "testgen/oracle.hpp"
+
+namespace cvmt {
+namespace {
+
+const MachineConfig kM = MachineConfig::vex4x4();
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.instruction_budget = 2'000;
+  cfg.timeslice_cycles = 500;
+  return cfg;
+}
+
+std::vector<std::string> lmhh_names() {
+  return {"mcf", "g721encode", "imgpipe", "colorspace"};
+}
+
+// --- CompiledScheme -------------------------------------------------------
+
+TEST(CompiledScheme, CarriesSchemePlanAndKey) {
+  const CompiledScheme c(Scheme::parse("2SC3"), kM);
+  EXPECT_EQ(c.scheme().name(), "2SC3");
+  EXPECT_EQ(c.machine(), kM);
+  ASSERT_NE(c.plan(), nullptr);
+  EXPECT_EQ(c.plan()->num_threads(), 4);
+  EXPECT_EQ(c.key(), CompiledScheme::make_key(Scheme::parse("2SC3"), kM));
+}
+
+TEST(CompiledScheme, KeySeparatesSchemesNamesAndMachines) {
+  const Scheme sc3 = Scheme::parse("2SC3");
+  EXPECT_EQ(CompiledScheme::make_key(sc3, kM),
+            CompiledScheme::make_key(Scheme::parse("2SC3"), kM));
+  EXPECT_NE(CompiledScheme::make_key(sc3, kM),
+            CompiledScheme::make_key(Scheme::parse("3CCC"), kM));
+  EXPECT_NE(CompiledScheme::make_key(sc3, kM),
+            CompiledScheme::make_key(sc3, MachineConfig::vex4x2()));
+  // Same tree under a different display name is a different artifact
+  // (SimResult::scheme carries the name).
+  const Scheme functional = Scheme::parse("CP(S(0,1),2,3)");
+  EXPECT_EQ(functional.canonical(), sc3.canonical());
+  EXPECT_NE(CompiledScheme::make_key(functional, kM),
+            CompiledScheme::make_key(sc3, kM));
+}
+
+TEST(CompiledScheme, RejectsInvalidMachine) {
+  MachineConfig bad = kM;
+  bad.num_clusters = 0;
+  EXPECT_THROW((void)CompiledScheme(Scheme::parse("1S"), bad), CheckError);
+}
+
+// --- ArtifactCache --------------------------------------------------------
+
+TEST(ArtifactCache, SharesOneArtifactPerKey) {
+  ArtifactCache cache;
+  const auto a = cache.scheme(Scheme::parse("2SC3"), kM);
+  const auto b = cache.scheme(Scheme::parse("2SC3"), kM);
+  EXPECT_EQ(a.get(), b.get());  // same object, not just equal
+  EXPECT_NE(a.get(), cache.scheme(Scheme::parse("3CCC"), kM).get());
+
+  const auto p = cache.program("mcf", kM);
+  EXPECT_EQ(p.get(), cache.program("mcf", kM).get());
+  EXPECT_EQ(p.get(), cache.program(profile_by_name("mcf"), kM).get());
+  EXPECT_NE(p.get(), cache.program("mcf", MachineConfig::vex4x2()).get());
+
+  const std::vector<std::string> names = lmhh_names();
+  const auto w = cache.workload(names, kM);
+  EXPECT_EQ(w.get(), cache.workload(names, kM).get());
+  ASSERT_EQ(w->programs.size(), 4u);
+  // Workload members share the per-program cache entries.
+  EXPECT_EQ(w->programs[0].get(), cache.program("mcf", kM).get());
+}
+
+TEST(ArtifactCache, ProfileContentIsTheKeyNotTheName) {
+  ArtifactCache cache;
+  BenchmarkProfile p = profile_by_name("mcf");
+  const auto original = cache.program(p, kM);
+  p.mem_op_frac = 0.39;  // fuzz-style mutation under the same name
+  const auto mutated = cache.program(p, kM);
+  EXPECT_NE(original.get(), mutated.get());
+}
+
+TEST(ArtifactCache, ClearDropsEntriesButSharedPtrsSurvive) {
+  ArtifactCache cache;
+  const auto p = cache.program("idct", kM);
+  EXPECT_GT(cache.size(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(p->profile().name, "idct");  // still alive
+  EXPECT_NE(p.get(), cache.program("idct", kM).get());  // rebuilt
+}
+
+TEST(ArtifactCache, ConcurrentMixedRequestsShareBuilds) {
+  ArtifactCache cache;
+  constexpr int kThreads = 8;
+  std::vector<std::future<const SyntheticProgram*>> futs;
+  for (int t = 0; t < kThreads; ++t)
+    futs.push_back(std::async(std::launch::async, [&cache, t] {
+      // Every thread requests the same artifacts plus one scheme of its
+      // own; all requests race on a cold cache.
+      (void)cache.scheme(Scheme::parse("2SC3"), kM);
+      (void)cache.scheme(Scheme::parse(t % 2 ? "3CCC" : "3SSS"), kM);
+      (void)cache.workload(std::vector<std::string>{"mcf", "idct"}, kM);
+      return cache.program("x264", kM).get();
+    }));
+  const SyntheticProgram* first = futs[0].get();
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(futs[t].get(), first);  // one build, shared by all
+}
+
+// --- SimInstance ----------------------------------------------------------
+
+TEST(SimInstance, MatchesRunSimulationExactly) {
+  ArtifactCache cache;
+  const SimConfig cfg = tiny_config();
+  const auto workload = cache.workload(lmhh_names(), kM);
+  SimInstance instance(cache.scheme(Scheme::parse("2SC3"), kM), cfg);
+  const SimResult reused = instance.run(*workload);
+  const SimResult fresh =
+      run_simulation(Scheme::parse("2SC3"), workload->programs, cfg);
+  EXPECT_EQ(compare_sim_results(fresh, reused, true), "");
+}
+
+TEST(SimInstance, RepeatedRunsAreBitIdentical) {
+  ArtifactCache cache;
+  SimInstance instance(cache.scheme(Scheme::parse("3SSS"), kM),
+                       tiny_config());
+  const auto workload = cache.workload(lmhh_names(), kM);
+  const SimResult a = instance.run(*workload);
+  const SimResult b = instance.run(*workload);  // no reset() in between
+  EXPECT_EQ(compare_sim_results(a, b, true), "");
+  instance.reset();  // explicit reset changes nothing either
+  const SimResult c = instance.run(*workload);
+  EXPECT_EQ(compare_sim_results(a, c, true), "");
+}
+
+TEST(SimInstance, RunsInterleavedConfigsWithoutCrossTalk) {
+  // Mixed budgets/policies/stats on one instance: each run must match its
+  // own fresh-construction result, regardless of what ran before it.
+  ArtifactCache cache;
+  const auto workload = cache.workload(lmhh_names(), kM);
+  SimConfig a = tiny_config();
+  SimConfig b = tiny_config();
+  b.instruction_budget = 900;
+  b.priority = PriorityPolicy::kStickyOnStall;
+  b.stats = StatsLevel::kFast;
+  b.os_seed = 0xBEEF;
+  SimConfig c = tiny_config();
+  c.mem.perfect = true;
+  c.eval_mode = EvalMode::kTreeReference;
+  c.stall_fast_forward = false;
+
+  SimInstance instance(cache.scheme(Scheme::parse("2CS"), kM), a);
+  for (const SimConfig* cfg : {&a, &b, &c, &a, &c, &b}) {
+    instance.set_config(*cfg);
+    const SimResult reused = instance.run(*workload);
+    const SimResult fresh =
+        run_simulation(Scheme::parse("2CS"), workload->programs, *cfg);
+    EXPECT_EQ(compare_sim_results(fresh, reused, true), "");
+  }
+}
+
+TEST(SimInstance, MemoryGeometryChangeRebuildsCaches) {
+  ArtifactCache cache;
+  const auto workload = cache.workload(lmhh_names(), kM);
+  SimConfig small = tiny_config();
+  small.mem.icache.size_bytes = 8 * 1024;
+  small.mem.dcache.size_bytes = 8 * 1024;
+  SimConfig priv = tiny_config();
+  priv.mem.sharing = CacheSharing::kPrivate;
+
+  SimInstance instance(cache.scheme(Scheme::parse("3CCC"), kM),
+                       tiny_config());
+  for (const SimConfig* cfg : {&small, &priv, &small}) {
+    instance.set_config(*cfg);
+    const SimResult reused = instance.run(*workload);
+    const SimResult fresh =
+        run_simulation(Scheme::parse("3CCC"), workload->programs, *cfg);
+    EXPECT_EQ(compare_sim_results(fresh, reused, true), "");
+  }
+}
+
+TEST(SimInstance, WorkloadSizeMayShrinkAndGrowAcrossRuns) {
+  ArtifactCache cache;
+  const SimConfig cfg = tiny_config();
+  SimInstance instance(cache.scheme(Scheme::parse("1S"), kM), cfg);
+  const auto two = cache.workload(std::vector<std::string>{"mcf", "idct"},
+                                  kM);
+  const auto six = cache.workload(
+      std::vector<std::string>{"mcf", "idct", "djpeg", "x264", "bzip2",
+                               "cjpeg"},
+      kM);
+  for (const auto* wl : {&two, &six, &two}) {
+    const SimResult reused = instance.run(**wl);
+    const SimResult fresh =
+        run_simulation(Scheme::parse("1S"), (*wl)->programs, cfg);
+    EXPECT_EQ(compare_sim_results(fresh, reused, true), "");
+  }
+}
+
+TEST(SimInstance, RejectsMismatchedMachineAndEmptyWorkload) {
+  ArtifactCache cache;
+  SimInstance instance(cache.scheme(Scheme::parse("1S"), kM),
+                       tiny_config());
+  SimConfig other = tiny_config();
+  other.machine = MachineConfig::vex4x2();
+  EXPECT_THROW(instance.set_config(other), CheckError);
+  EXPECT_THROW((void)instance.run(CompiledWorkload{}), CheckError);
+  // Programs built for a different machine are rejected per run.
+  const auto foreign =
+      cache.workload(lmhh_names(), MachineConfig::vex4x2());
+  EXPECT_THROW((void)instance.run(*foreign), CheckError);
+}
+
+// --- SimSession -----------------------------------------------------------
+
+TEST(SimSession, GridSweepMatchesFacadePointForPoint) {
+  ArtifactCache cache;
+  SimSession session(cache);
+  const SimConfig cfg = tiny_config();
+  const std::vector<std::string> names = lmhh_names();
+  for (int pass = 0; pass < 2; ++pass) {  // second pass = all instances warm
+    for (const char* scheme : {"1S", "3CCC", "2SC3", "3SSS", "IMT4"}) {
+      const SimResult via_session =
+          session.run(Scheme::parse(scheme), names, cfg);
+      const SimResult fresh = run_simulation(
+          Scheme::parse(scheme), cache.workload(names, kM)->programs, cfg);
+      EXPECT_EQ(compare_sim_results(fresh, via_session, true), "")
+          << scheme << " pass " << pass;
+    }
+  }
+  EXPECT_EQ(session.num_instances(), 5u);  // one per scheme, reused
+}
+
+TEST(SimSession, SharedArtifactsAcrossSessions) {
+  ArtifactCache cache;
+  SimSession worker_a(cache);
+  SimSession worker_b(cache);
+  const SimConfig cfg = tiny_config();
+  const SimResult a =
+      worker_a.run(Scheme::parse("2SC"), lmhh_names(), cfg);
+  const SimResult b =
+      worker_b.run(Scheme::parse("2SC"), lmhh_names(), cfg);
+  EXPECT_EQ(compare_sim_results(a, b, true), "");
+  // Both sessions drew from one cache; each kept its own instance.
+  EXPECT_EQ(worker_a.num_instances(), 1u);
+  EXPECT_EQ(worker_b.num_instances(), 1u);
+}
+
+TEST(SimSession, ClearDropsInstancesButKeepsCorrectness) {
+  SimSession session;  // the process-global artifact cache
+  const SimConfig cfg = tiny_config();
+  const SimResult a = session.run(Scheme::parse("2SS"), lmhh_names(), cfg);
+  session.clear();
+  EXPECT_EQ(session.num_instances(), 0u);
+  const SimResult b = session.run(Scheme::parse("2SS"), lmhh_names(), cfg);
+  EXPECT_EQ(compare_sim_results(a, b, true), "");
+}
+
+}  // namespace
+}  // namespace cvmt

@@ -3,9 +3,16 @@
 // the reference recursive-tree, cycle-stepped simulation exactly — every
 // counter, not just IPC — for every paper scheme and priority policy; and
 // StatsLevel::kFast must agree with kFull on every shared result field.
+// The session-reuse contract is pinned here too: a reset SimInstance must
+// replay bit-identically to fresh construction for every paper scheme x
+// policy, including mixed stats levels and eval modes on one instance.
 #include <gtest/gtest.h>
 
-#include "sim/simulation.hpp"
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "sim/session.hpp"
 
 namespace cvmt {
 namespace {
@@ -161,6 +168,75 @@ TEST(SimGolden, FastForwardRespectsMaxCyclesAndTimeslices) {
   // the run produced a timeslice.
   EXPECT_EQ(r.os.timeslices,
             (r.cycles + cfg.timeslice_cycles - 1) / cfg.timeslice_cycles);
+}
+
+TEST(SimGolden, InstanceResetAndRerunMatchesFreshConstruction) {
+  // The session layer's core invariant, over every paper scheme x policy:
+  // SimInstance::reset() + rerun (and the implicit reset at each run())
+  // reproduces the freshly-constructed run_simulation result exactly.
+  std::vector<std::string> schemes;
+  for (const Scheme& s : Scheme::paper_schemes_4t())
+    schemes.push_back(s.name());
+  schemes.emplace_back("IMT4");
+
+  ArtifactCache cache;
+  for (const std::string& name : schemes) {
+    for (const PriorityPolicy policy :
+         {PriorityPolicy::kRoundRobin, PriorityPolicy::kFixed,
+          PriorityPolicy::kStickyOnStall}) {
+      SimConfig cfg = golden_config();
+      cfg.priority = policy;
+      const Scheme scheme = Scheme::parse(name);
+      const SimResult fresh = run_simulation(scheme, programs(), cfg);
+
+      SimInstance instance(cache.scheme(scheme, kM), cfg);
+      const SimResult first = instance.run(programs());
+      instance.reset();
+      const SimResult rerun = instance.run(programs());
+      const std::string what =
+          name + "/policy" + std::to_string(static_cast<int>(policy));
+      expect_identical(fresh, first, what + "/first",
+                       /*compare_merge_stats=*/true);
+      expect_identical(fresh, rerun, what + "/reset-rerun",
+                       /*compare_merge_stats=*/true);
+    }
+  }
+}
+
+TEST(SimGolden, OneInstanceSurvivesMixedStatsLevelsAndEvalModes) {
+  // The fuzz oracle's usage pattern: one instance sweeps every hot-path
+  // configuration. Each run must match its own fresh-construction result
+  // — no stats residue, no evaluator cross-talk.
+  ArtifactCache cache;
+  struct Mode {
+    StatsLevel stats;
+    EvalMode eval;
+    bool fast_forward;
+  };
+  const Mode modes[] = {
+      {StatsLevel::kFull, EvalMode::kPlan, true},
+      {StatsLevel::kFast, EvalMode::kPlan, true},
+      {StatsLevel::kFull, EvalMode::kTreeReference, false},
+      {StatsLevel::kFull, EvalMode::kPlan, false},
+      {StatsLevel::kFull, EvalMode::kPlan, true},  // back to the baseline
+      {StatsLevel::kFast, EvalMode::kTreeReference, true},
+  };
+  for (const char* name : {"2SC3", "2CS", "IMT4"}) {
+    const Scheme scheme = Scheme::parse(name);
+    SimInstance instance(cache.scheme(scheme, kM), golden_config());
+    for (std::size_t m = 0; m < std::size(modes); ++m) {
+      SimConfig cfg = golden_config();
+      cfg.stats = modes[m].stats;
+      cfg.eval_mode = modes[m].eval;
+      cfg.stall_fast_forward = modes[m].fast_forward;
+      instance.set_config(cfg);
+      const SimResult reused = instance.run(programs());
+      const SimResult fresh = run_simulation(scheme, programs(), cfg);
+      expect_identical(fresh, reused,
+                       std::string(name) + "/mode" + std::to_string(m),
+                       /*compare_merge_stats=*/true);
+    }
+  }
 }
 
 TEST(SimGolden, ReseededRunsReproduceBitIdentically) {
