@@ -94,8 +94,8 @@ SmtPacketState SmtPacketState::of(const Footprint& fp,
 
 bool smt_stage_feasible(const SmtPacketState& a, const SmtPacketState& b,
                         const MachineConfig& machine) {
-  const auto width = static_cast<std::uint32_t>(machine.issue_per_cluster);
   for (int c = 0; c < machine.num_clusters; ++c) {
+    const auto width = static_cast<std::uint32_t>(machine.cluster_issue(c));
     if ((a.fixed[c] & b.fixed[c]) != 0) return false;   // slot collision
     if (a.count[c] + b.count[c] > width) return false;  // adder + compare
   }

@@ -65,7 +65,9 @@ SmtStageCost smt_stage(int acc_threads, int in_threads,
                        const MachineConfig& machine) {
   CVMT_CHECK(acc_threads >= 1 && in_threads >= 1);
   const int m = machine.num_clusters;
-  const int w = machine.issue_per_cluster;
+  // Heterogeneous machines size the slot-level circuits for the widest
+  // cluster (every physical stage must handle it).
+  const int w = machine.max_issue_per_cluster();
   const int count_bits = ceil_log2(w) + 1;
 
   // Selection: per cluster, fixed-slot collision (mask AND + OR-reduce) in

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "exp/report.hpp"
+#include "isa/machine_file.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
 #include "testgen/fuzz_driver.hpp"
@@ -84,6 +85,12 @@ JsonValue params_to_json(const Experiment& experiment,
     machine.set("clusters", params.cfg.sim.machine.num_clusters);
     machine.set("issue_per_cluster",
                 params.cfg.sim.machine.issue_per_cluster);
+    // The spec (and the het marker) appear only for --machine runs:
+    // default runs keep the exact historical bytes.
+    if (!params.machine_spec.empty())
+      machine.set("spec", params.machine_spec);
+    if (params.cfg.sim.machine.heterogeneous)
+      machine.set("heterogeneous", true);
     out.set("machine", std::move(machine));
   }
   // ParamKind::kWorkers is intentionally absent: the worker count is an
@@ -150,7 +157,7 @@ ParamKind param_kind_of_flag(std::string_view flag) {
   if (flag == "stats") return ParamKind::kStats;
   if (flag == "schemes") return ParamKind::kSchemes;
   if (flag == "workloads") return ParamKind::kWorkloads;
-  CVMT_CHECK(flag == "clusters" || flag == "issue");
+  CVMT_CHECK(flag == "clusters" || flag == "issue" || flag == "machine");
   return ParamKind::kMachine;
 }
 
@@ -249,10 +256,65 @@ int usage(std::ostream& os, int code) {
         "      (--out writes the same bytes to FILE instead of stdout).\n"
         "      `cvmt run <id> --help` lists the flags; each layers over\n"
         "      its CVMT_* environment variable.\n"
+        "  cvmt machines [FILE.machine ...]\n"
+        "      List the built-in machine descriptions; with file\n"
+        "      arguments, parse and validate each .machine file (exit 1\n"
+        "      on the first invalid file).\n"
         "  cvmt fuzz [--cases=N] [--seed=S] [--shrink] [--flags]\n"
         "      Property-based differential fuzzing of the simulator's\n"
         "      bit-identity contracts; `cvmt fuzz --help` for details.\n";
   return code;
+}
+
+/// `cvmt machines`: lists built-ins; `cvmt machines FILE...` validates
+/// machine files with parse/validate diagnostics (non-zero exit on error).
+int cvmt_machines(int argc, const char* const* argv) {
+  if (argc >= 2 && (std::string_view(argv[1]) == "--help" ||
+                    std::string_view(argv[1]) == "-h")) {
+    std::cout << "usage: cvmt machines [FILE.machine ...]\n"
+                 "  Without arguments: list every built-in machine\n"
+                 "  description (usable as --machine=NAME).\n"
+                 "  With arguments: parse and validate each .machine\n"
+                 "  file; prints the diagnostic and exits 1 on the first\n"
+                 "  invalid file.\n";
+    return 0;
+  }
+  if (argc < 2) {
+    Dataset d({ColumnSpec::str("Name"), ColumnSpec::str("Clusters"),
+               ColumnSpec::str("Memory"), ColumnSpec::str("Policy")});
+    for (const std::string& name : builtin_machine_names()) {
+      MachineDescription desc;
+      CVMT_CHECK(find_builtin_machine(name, desc));
+      std::string shape;
+      if (desc.machine.heterogeneous) {
+        for (int c = 0; c < desc.machine.num_clusters; ++c) {
+          if (c) shape += '+';
+          shape += std::to_string(desc.machine.cluster_issue(c));
+        }
+        shape += " (het)";
+      } else {
+        shape = std::to_string(desc.machine.num_clusters) + "x" +
+                std::to_string(desc.machine.issue_per_cluster);
+      }
+      std::string mem = desc.mem.has_l2 ? "L1+L2" : "L1";
+      if (desc.mem.dcache_banks > 1)
+        mem += ", " + std::to_string(desc.mem.dcache_banks) + "-bank D$";
+      d.add_row({name, shape, mem, to_string(desc.switch_policy)});
+    }
+    d.to_table().print(std::cout);
+    return 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    try {
+      const MachineDescription desc = load_machine_file(argv[i]);
+      std::cout << argv[i] << ": ok (machine '" << desc.name << "')\n";
+    } catch (const CheckError& e) {
+      std::cerr << "cvmt machines: " << argv[i] << ": " << e.what()
+                << '\n';
+      return 1;
+    }
+  }
+  return 0;
 }
 
 Dataset list_dataset() {
@@ -427,6 +489,7 @@ int cvmt_main(int argc, const char* const* argv) {
   const std::string_view command = argv[1];
   if (command == "list") return cvmt_list(argc - 1, argv + 1);
   if (command == "run") return cvmt_run(argc - 1, argv + 1);
+  if (command == "machines") return cvmt_machines(argc - 1, argv + 1);
   if (command == "fuzz") return fuzz_main(argc - 1, argv + 1);
   if (command == "help" || command == "--help" || command == "-h")
     return usage(std::cout, 0);

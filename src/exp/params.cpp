@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/scheme.hpp"
+#include "isa/machine_file.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/string_util.hpp"
@@ -52,6 +53,12 @@ void ExperimentParams::add_standard_flags(ArgParser& parser) {
                  "CVMT_CLUSTERS");
   parser.add_u64("issue", "n", "Machine shape: issue width per cluster.",
                  "CVMT_ISSUE");
+  parser.add_string("machine", "name|file",
+                    "Machine description: a built-in name (see `cvmt "
+                    "machines`) or a .machine file path. Sets the machine, "
+                    "memory system and switch policy together; conflicts "
+                    "with --clusters/--issue.",
+                    "CVMT_MACHINE");
 }
 
 namespace {
@@ -101,10 +108,22 @@ ExperimentParams ExperimentParams::resolve(const ArgParser& parser) {
                  stats.c_str());
   }
 
-  // Machine shape: only override the paper's vex4x4 when asked.
+  // Machine: only override the paper's vex4x4 when asked. A --machine
+  // spec (built-in name or .machine file) sets machine + memory + switch
+  // policy as one unit and excludes the shape shorthand flags.
   const std::uint64_t clusters = parser.get_u64("clusters", 0);
   const std::uint64_t issue = parser.get_u64("issue", 0);
-  if (clusters != 0 || issue != 0) {
+  const std::string machine_spec = parser.get_string("machine", "");
+  if (!machine_spec.empty()) {
+    CVMT_CHECK_MSG(clusters == 0 && issue == 0,
+                   "--machine conflicts with --clusters/--issue (a machine "
+                   "file fixes the whole shape)");
+    const MachineDescription md = resolve_machine(machine_spec);
+    p.cfg.sim.machine = md.machine;
+    p.cfg.sim.mem = md.mem;
+    p.cfg.sim.switch_policy = md.switch_policy;
+    p.machine_spec = machine_spec;
+  } else if (clusters != 0 || issue != 0) {
     p.cfg.sim.machine =
         MachineConfig::clustered(static_cast<int>(clusters ? clusters : 4),
                                  static_cast<int>(issue ? issue : 4));

@@ -37,7 +37,8 @@ enum class ParamKind : std::uint8_t {
   kStats,      ///< --stats over CVMT_STATS (full|fast)
   kSchemes,    ///< --schemes=A,B,... filter
   kWorkloads,  ///< --workloads=A,B,... filter
-  kMachine,    ///< --clusters/--issue over CVMT_CLUSTERS/CVMT_ISSUE
+  kMachine,    ///< --machine over CVMT_MACHINE, or --clusters/--issue over
+               ///< CVMT_CLUSTERS/CVMT_ISSUE
 };
 
 [[nodiscard]] const char* to_string(ParamKind k);
@@ -51,6 +52,11 @@ struct ExperimentParams {
   std::vector<std::string> schemes;
   /// Workload filter (Table 2 ILP combos); empty = all nine.
   std::vector<std::string> workloads;
+  /// The resolved --machine/CVMT_MACHINE spec (built-in name or file
+  /// path); empty when the machine came from defaults or --clusters/
+  /// --issue. Machine-readable output echoes it only when set, keeping
+  /// default runs byte-identical.
+  std::string machine_spec;
 
   /// Declares the standard experiment flags on `parser` (all of them;
   /// whether an experiment consumes a knob is the schema's concern).

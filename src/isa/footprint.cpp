@@ -9,7 +9,7 @@ Footprint Footprint::of(const Instruction& instr,
   Footprint fp;
   for (const Operation& op : instr) {
     CVMT_DCHECK(op.cluster < config.num_clusters);
-    CVMT_DCHECK(op.slot < config.issue_per_cluster);
+    CVMT_DCHECK(op.slot < config.cluster_issue(op.cluster));
     ClusterUse& use = fp.use_[op.cluster];
     if (is_fixed_slot(op.kind)) {
       const auto bit = static_cast<std::uint8_t>(1u << op.slot);
@@ -17,11 +17,26 @@ Footprint Footprint::of(const Instruction& instr,
       use.fixed_mask = static_cast<std::uint8_t>(use.fixed_mask | bit);
     }
     ++use.op_count;
-    CVMT_DCHECK(use.op_count <= config.issue_per_cluster);
+    CVMT_DCHECK(use.op_count <= config.cluster_issue(op.cluster));
     fp.cluster_mask_ |= 1u << op.cluster;
     ++fp.total_ops_;
   }
   return fp;
+}
+
+bool smt_compatible_het(const Footprint& a, const Footprint& b,
+                        const MachineConfig& config) {
+  // Only clusters used by both packets can conflict; walk their overlap.
+  std::uint32_t shared = a.cluster_mask() & b.cluster_mask();
+  while (shared != 0) {
+    const int c = std::countr_zero(shared);
+    shared &= shared - 1;
+    const ClusterUse& ua = a.cluster(c);
+    const ClusterUse& ub = b.cluster(c);
+    if ((ua.fixed_mask & ub.fixed_mask) != 0) return false;
+    if (ua.op_count + ub.op_count > config.cluster_issue(c)) return false;
+  }
+  return true;
 }
 
 Instruction route_merge(const Instruction& a, const Instruction& b,
@@ -53,7 +68,8 @@ Instruction route_merge(const Instruction& a, const Instruction& b,
       Operation placed = op;
       if ((occ & (1u << op.slot)) != 0) {
         const std::uint32_t all =
-            (1u << static_cast<unsigned>(config.issue_per_cluster)) - 1u;
+            (1u << static_cast<unsigned>(config.cluster_issue(op.cluster))) -
+            1u;
         const std::uint32_t free = all & ~occ;
         CVMT_CHECK_MSG(free != 0, "routing overflow despite compatibility");
         placed.slot = static_cast<std::uint8_t>(std::countr_zero(free));

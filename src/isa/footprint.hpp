@@ -96,8 +96,15 @@ static_assert(std::endian::native == std::endian::little,
               "SWAR lane masks assume little-endian byte order (fixed "
               "masks in even bytes, op counts in odd bytes)");
 
+/// Heterogeneous-machine slow path of smt_compatible (per-cluster widths
+/// break the single-adjust SWAR trick); out of line, rarely taken.
+[[nodiscard]] bool smt_compatible_het(const Footprint& a, const Footprint& b,
+                                      const MachineConfig& config);
+
 inline bool Footprint::smt_compatible(const Footprint& a, const Footprint& b,
                                       const MachineConfig& config) {
+  if (config.heterogeneous) [[unlikely]]
+    return smt_compatible_het(a, b, config);
   const auto la = std::bit_cast<Lanes>(a.use_);
   const auto lb = std::bit_cast<Lanes>(b.use_);
   // Per count byte: sum + (127 - width) has bit 7 set iff sum > width.

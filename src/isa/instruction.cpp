@@ -21,8 +21,9 @@ std::string Instruction::validate(const MachineConfig& config) const {
   for (const Operation& op : ops_) {
     if (op.cluster >= config.num_clusters)
       return "cluster index out of range";
-    if (op.slot >= config.issue_per_cluster) return "slot index out of range";
-    const std::uint32_t capable = config.slots_for(op.kind);
+    if (op.slot >= config.cluster_issue(op.cluster))
+      return "slot index out of range";
+    const std::uint32_t capable = config.slots_for(op.kind, op.cluster);
     if ((capable & (1u << op.slot)) == 0) {
       std::ostringstream os;
       os << cvmt::to_string(op.kind) << " not executable in slot "
@@ -46,13 +47,13 @@ std::string Instruction::to_string(const MachineConfig& config) const {
   const Operation* grid[kMaxClusters][kMaxIssuePerCluster] = {};
   for (const Operation& op : ops_) {
     if (op.cluster < config.num_clusters &&
-        op.slot < config.issue_per_cluster)
+        op.slot < config.cluster_issue(op.cluster))
       grid[op.cluster][op.slot] = &op;
   }
   std::ostringstream os;
   for (int c = 0; c < config.num_clusters; ++c) {
     if (c) os << " | ";
-    for (int s = 0; s < config.issue_per_cluster; ++s) {
+    for (int s = 0; s < config.cluster_issue(c); ++s) {
       if (s) os << ' ';
       if (const Operation* op = grid[c][s])
         os << cvmt::to_string(op->kind);

@@ -1,8 +1,37 @@
 #include "isa/machine_config.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <string>
 
 namespace cvmt {
+namespace {
+
+constexpr std::uint32_t width_mask(int w) {
+  return (w >= 32) ? ~0u : ((1u << static_cast<unsigned>(w)) - 1u);
+}
+
+void validate_shape(const ClusterShape& s, const std::string& where,
+                    bool allow_empty) {
+  CVMT_CHECK_MSG(s.issue_width >= 1 && s.issue_width <= kMaxIssuePerCluster,
+                 where + "issue width out of range");
+  const std::uint32_t all = width_mask(s.issue_width);
+  CVMT_CHECK_MSG((s.mul_slot_mask & ~all) == 0,
+                 where + "mul slot beyond issue width");
+  CVMT_CHECK_MSG((s.mem_slot_mask & ~all) == 0,
+                 where + "mem slot beyond issue width");
+  CVMT_CHECK_MSG((s.branch_slot_mask & ~all) == 0,
+                 where + "branch slot beyond issue width");
+  if (!allow_empty) {
+    CVMT_CHECK_MSG(s.mul_slot_mask != 0,
+                   "machine needs at least one multiplier");
+    CVMT_CHECK_MSG(s.mem_slot_mask != 0, "machine needs at least one LSU");
+    CVMT_CHECK_MSG(s.branch_slot_mask != 0,
+                   "machine needs at least one branch unit");
+  }
+}
+
+}  // namespace
 
 MachineConfig MachineConfig::vex4x4() {
   MachineConfig c;
@@ -53,17 +82,54 @@ MachineConfig MachineConfig::clustered(int num_clusters,
   return c;
 }
 
-std::uint32_t MachineConfig::slots_for(OpKind kind) const {
-  const std::uint32_t all =
-      (issue_per_cluster >= 32)
-          ? ~0u
-          : ((1u << static_cast<unsigned>(issue_per_cluster)) - 1u);
+MachineConfig MachineConfig::heterogeneous_of(const ClusterShape* shapes,
+                                              int count) {
+  MachineConfig c;
+  c.heterogeneous = true;
+  c.num_clusters = count;
+  CVMT_CHECK_MSG(count >= 1 && count <= kMaxClusters,
+                 "cluster count out of range");
+  for (int i = 0; i < count; ++i)
+    c.per_cluster[static_cast<std::size_t>(i)] = shapes[i];
+  // Keep the (ignored) flat fields coherent with the widest cluster so
+  // accidental flat reads fail loudly in validate() rather than silently.
+  c.issue_per_cluster = c.max_issue_per_cluster();
+  c.validate();
+  return c;
+}
+
+int MachineConfig::max_issue_per_cluster() const {
+  if (!heterogeneous) return issue_per_cluster;
+  int widest = 1;
+  for (int c = 0; c < num_clusters; ++c)
+    widest = std::max(widest,
+                      per_cluster[static_cast<std::size_t>(c)].issue_width);
+  return widest;
+}
+
+std::uint32_t MachineConfig::slots_for(OpKind kind, int c) const {
+  std::uint32_t all;
+  std::uint32_t mul;
+  std::uint32_t mem;
+  std::uint32_t branch;
+  if (heterogeneous) {
+    const ClusterShape& s = per_cluster[static_cast<std::size_t>(c)];
+    all = width_mask(s.issue_width);
+    mul = s.mul_slot_mask;
+    mem = s.mem_slot_mask;
+    branch = s.branch_slot_mask;
+  } else {
+    all = width_mask(issue_per_cluster);
+    mul = mul_slot_mask;
+    mem = mem_slot_mask;
+    branch = branch_slot_mask;
+  }
   switch (kind) {
     case OpKind::kAlu: return all;
-    case OpKind::kMul: return mul_slot_mask;
+    case OpKind::kMul: return mul;
     case OpKind::kLoad:
-    case OpKind::kStore: return mem_slot_mask;
-    case OpKind::kBranch: return branch_slot_mask;
+    case OpKind::kStore: return mem;
+    case OpKind::kBranch: return branch;
   }
   return 0;
 }
@@ -82,35 +148,60 @@ int MachineConfig::latency_of(OpKind kind) const {
 void MachineConfig::validate() const {
   CVMT_CHECK_MSG(num_clusters >= 1 && num_clusters <= kMaxClusters,
                  "cluster count out of range");
-  CVMT_CHECK_MSG(
-      issue_per_cluster >= 1 && issue_per_cluster <= kMaxIssuePerCluster,
-      "issue width out of range");
-  CVMT_CHECK_MSG(num_clusters * issue_per_cluster <= kMaxTotalOps,
-                 "total issue width exceeds kMaxTotalOps");
-  const std::uint32_t all =
-      (1u << static_cast<unsigned>(issue_per_cluster)) - 1u;
-  CVMT_CHECK_MSG((mul_slot_mask & ~all) == 0, "mul slot beyond issue width");
-  CVMT_CHECK_MSG((mem_slot_mask & ~all) == 0, "mem slot beyond issue width");
-  CVMT_CHECK_MSG((branch_slot_mask & ~all) == 0,
-                 "branch slot beyond issue width");
-  CVMT_CHECK_MSG(mul_slot_mask != 0, "machine needs at least one multiplier");
-  CVMT_CHECK_MSG(mem_slot_mask != 0, "machine needs at least one LSU");
-  CVMT_CHECK_MSG(branch_slot_mask != 0,
-                 "machine needs at least one branch unit");
+  if (heterogeneous) {
+    // Per-cluster masks may be empty; every capability must exist on at
+    // least one cluster of the machine.
+    int total = 0;
+    std::uint32_t any_mul = 0;
+    std::uint32_t any_mem = 0;
+    std::uint32_t any_branch = 0;
+    for (int c = 0; c < num_clusters; ++c) {
+      const ClusterShape& s = per_cluster[static_cast<std::size_t>(c)];
+      validate_shape(s, "cluster " + std::to_string(c) + ": ",
+                     /*allow_empty=*/true);
+      total += s.issue_width;
+      any_mul |= s.mul_slot_mask;
+      any_mem |= s.mem_slot_mask;
+      any_branch |= s.branch_slot_mask;
+    }
+    CVMT_CHECK_MSG(total <= kMaxTotalOps,
+                   "total issue width exceeds kMaxTotalOps");
+    CVMT_CHECK_MSG(any_mul != 0, "machine needs at least one multiplier");
+    CVMT_CHECK_MSG(any_mem != 0, "machine needs at least one LSU");
+    CVMT_CHECK_MSG(any_branch != 0,
+                   "machine needs at least one branch unit");
+  } else {
+    CVMT_CHECK_MSG(
+        issue_per_cluster >= 1 && issue_per_cluster <= kMaxIssuePerCluster,
+        "issue width out of range");
+    CVMT_CHECK_MSG(num_clusters * issue_per_cluster <= kMaxTotalOps,
+                   "total issue width exceeds kMaxTotalOps");
+    const ClusterShape flat{issue_per_cluster, mul_slot_mask, mem_slot_mask,
+                            branch_slot_mask};
+    validate_shape(flat, "", /*allow_empty=*/false);
+  }
   CVMT_CHECK_MSG(alu_latency >= 1 && mul_latency >= 1 && mem_latency >= 1,
                  "latencies must be positive");
   CVMT_CHECK_MSG(taken_branch_penalty >= 0, "negative branch penalty");
 }
 
 bool operator==(const MachineConfig& a, const MachineConfig& b) {
-  return a.num_clusters == b.num_clusters &&
-         a.issue_per_cluster == b.issue_per_cluster &&
+  if (a.heterogeneous != b.heterogeneous ||
+      a.num_clusters != b.num_clusters || a.alu_latency != b.alu_latency ||
+      a.mul_latency != b.mul_latency || a.mem_latency != b.mem_latency ||
+      a.taken_branch_penalty != b.taken_branch_penalty)
+    return false;
+  if (a.heterogeneous) {
+    for (int c = 0; c < a.num_clusters; ++c)
+      if (!(a.per_cluster[static_cast<std::size_t>(c)] ==
+            b.per_cluster[static_cast<std::size_t>(c)]))
+        return false;
+    return true;
+  }
+  return a.issue_per_cluster == b.issue_per_cluster &&
          a.mul_slot_mask == b.mul_slot_mask &&
          a.mem_slot_mask == b.mem_slot_mask &&
-         a.branch_slot_mask == b.branch_slot_mask &&
-         a.alu_latency == b.alu_latency && a.mul_latency == b.mul_latency &&
-         a.mem_latency == b.mem_latency &&
-         a.taken_branch_penalty == b.taken_branch_penalty;
+         a.branch_slot_mask == b.branch_slot_mask;
 }
 
 }  // namespace cvmt

@@ -1,10 +1,27 @@
 #include "mem/memory_system.hpp"
 
+#include <bit>
+
 namespace cvmt {
+
+void MemorySystemConfig::validate() const {
+  icache.validate();
+  dcache.validate();
+  if (has_l2) l2.validate();
+  CVMT_CHECK_MSG(dcache_banks >= 1 &&
+                     std::has_single_bit(
+                         static_cast<unsigned>(dcache_banks)),
+                 "dcache bank count must be a power of two");
+  CVMT_CHECK_MSG(bank_conflict_penalty >= 0,
+                 "negative bank conflict penalty");
+}
 
 MemorySystem::MemorySystem(const MemorySystemConfig& config, int num_threads)
     : config_(config), num_threads_(num_threads) {
   CVMT_CHECK(num_threads >= 1);
+  config.validate();
+  dbank_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(config.dcache.line_bytes));
   const int n = config.sharing == CacheSharing::kShared ? 1 : num_threads;
   icaches_.reserve(static_cast<std::size_t>(n));
   dcaches_.reserve(static_cast<std::size_t>(n));
@@ -12,6 +29,7 @@ MemorySystem::MemorySystem(const MemorySystemConfig& config, int num_threads)
     icaches_.emplace_back(config.icache);
     dcaches_.emplace_back(config.dcache);
   }
+  if (config.has_l2) l2_.emplace_back(config.l2);
 }
 
 SetAssocCache& MemorySystem::icache_for(int tid) {
@@ -29,20 +47,29 @@ SetAssocCache& MemorySystem::dcache_for(int tid) {
 }
 
 MemAccessResult MemorySystem::fetch(int tid, std::uint64_t pc) {
-  if (config_.perfect) return {true, 0};
+  if (config_.perfect) return {true, 0, 0};
   const bool hit = icache_for(tid).access(pc);
-  return {hit, hit ? 0 : config_.icache.miss_penalty};
+  if (hit) return {true, 0, 0};
+  int penalty = config_.icache.miss_penalty;
+  if (!l2_.empty() && !l2_[0].access(pc)) penalty += config_.l2.miss_penalty;
+  return {false, penalty, 0};
 }
 
 MemAccessResult MemorySystem::data_access(int tid, std::uint64_t addr) {
-  if (config_.perfect) return {true, 0};
+  if (config_.perfect) return {true, 0, 0};
+  const int bank = bank_of(addr);
   const bool hit = dcache_for(tid).access(addr);
-  return {hit, hit ? 0 : config_.dcache.miss_penalty};
+  if (hit) return {true, 0, bank};
+  int penalty = config_.dcache.miss_penalty;
+  if (!l2_.empty() && !l2_[0].access(addr))
+    penalty += config_.l2.miss_penalty;
+  return {false, penalty, bank};
 }
 
 void MemorySystem::reset() {
   for (SetAssocCache& c : icaches_) c.reset();
   for (SetAssocCache& c : dcaches_) c.reset();
+  for (SetAssocCache& c : l2_) c.reset();
 }
 
 RatioCounter MemorySystem::icache_stats() const {
@@ -57,6 +84,15 @@ RatioCounter MemorySystem::icache_stats() const {
 RatioCounter MemorySystem::dcache_stats() const {
   RatioCounter total;
   for (const auto& c : dcaches_) {
+    total.hits += c.stats().hits;
+    total.total += c.stats().total;
+  }
+  return total;
+}
+
+RatioCounter MemorySystem::l2_stats() const {
+  RatioCounter total;
+  for (const auto& c : l2_) {
     total.hits += c.stats().hits;
     total.total += c.stats().total;
   }

@@ -5,35 +5,21 @@
 namespace cvmt {
 
 OsScheduler::OsScheduler(std::vector<std::shared_ptr<ThreadContext>> threads,
-                         std::uint64_t timeslice, std::uint64_t seed)
-    : threads_(std::move(threads)), timeslice_(timeslice), rng_(seed) {
+                         std::uint64_t timeslice, std::uint64_t seed,
+                         SwitchPolicyKind policy)
+    : threads_(std::move(threads)),
+      timeslice_(timeslice),
+      policy_(make_switch_policy(policy, seed)) {
   CVMT_CHECK_MSG(!threads_.empty(), "workload needs at least one thread");
   CVMT_CHECK_MSG(timeslice_ >= 1, "timeslice must be positive");
 }
 
-void OsScheduler::reschedule(MultithreadedCore& core) {
-  // Runnable = not yet at budget. (The run stops at the first completion,
-  // so in practice all threads are runnable here.)
-  std::vector<ThreadContext*> runnable;
-  for (const auto& t : threads_)
-    if (!t->done()) runnable.push_back(t.get());
-
-  // Random replacement (paper: "replacement threads are picked at random"):
-  // Fisher-Yates prefix shuffle of the runnable pool.
+void OsScheduler::reschedule(MultithreadedCore& core, std::uint64_t cycle) {
   const int slots = core.num_slots();
-  const std::size_t take =
-      std::min<std::size_t>(static_cast<std::size_t>(slots),
-                            runnable.size());
-  for (std::size_t i = 0; i < take; ++i) {
-    const std::size_t j =
-        i + rng_.next_below(runnable.size() - i);
-    std::swap(runnable[i], runnable[j]);
-  }
+  next_.assign(static_cast<std::size_t>(slots), nullptr);
+  policy_->pick(threads_, core, cycle, next_);
   for (int s = 0; s < slots; ++s) {
-    ThreadContext* next =
-        static_cast<std::size_t>(s) < take
-            ? runnable[static_cast<std::size_t>(s)]
-            : nullptr;
+    ThreadContext* next = next_[static_cast<std::size_t>(s)];
     if (core.thread(s) != next) ++stats_.context_switches;
     core.set_thread(s, next);
   }
@@ -48,7 +34,7 @@ std::uint64_t OsScheduler::run(MultithreadedCore& core,
   // guarantees a jump never skips a reschedule point.
   std::uint64_t cycle = 0;
   while (cycle < max_cycles) {
-    if (cycle % timeslice_ == 0) reschedule(core);
+    if (cycle % timeslice_ == 0) reschedule(core, cycle);
     const std::uint64_t slice_end =
         std::min(max_cycles, cycle - cycle % timeslice_ + timeslice_);
     bool any_done = false;

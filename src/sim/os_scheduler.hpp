@@ -1,8 +1,8 @@
 // Multitasking environment of the paper's §5.1: the hardware thread count
 // is exposed as virtual CPUs; the OS schedules that many software threads
-// per timeslice, replacing them with randomly picked runnable threads at
-// each expiry. The run ends when any thread completes its instruction
-// budget.
+// per timeslice, picking replacements with a pluggable SwitchPolicy
+// (default: the paper's random replacement). The run ends when any thread
+// completes its instruction budget.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "sim/multithreaded_core.hpp"
-#include "support/rng.hpp"
+#include "sim/switch_policy.hpp"
 
 namespace cvmt {
 
@@ -24,9 +24,12 @@ struct OsRunStats {
 class OsScheduler {
  public:
   /// `threads` is the workload pool (ownership shared with the caller so
-  /// results can be read afterwards). `timeslice` is in cycles.
+  /// results can be read afterwards). `timeslice` is in cycles. `policy`
+  /// picks the resident set at each slice boundary; `seed` feeds the
+  /// random policy's RNG.
   OsScheduler(std::vector<std::shared_ptr<ThreadContext>> threads,
-              std::uint64_t timeslice, std::uint64_t seed);
+              std::uint64_t timeslice, std::uint64_t seed,
+              SwitchPolicyKind policy = SwitchPolicyKind::kRandomTimeslice);
 
   /// Runs `core` until any thread finishes its budget or `max_cycles`
   /// elapse. Returns the number of cycles executed.
@@ -39,12 +42,14 @@ class OsScheduler {
   }
 
  private:
-  /// Picks a fresh random set of runnable threads onto the core's slots.
-  void reschedule(MultithreadedCore& core);
+  /// Applies the policy's pick for the slice starting at `cycle` onto the
+  /// core's slots, counting context switches.
+  void reschedule(MultithreadedCore& core, std::uint64_t cycle);
 
   std::vector<std::shared_ptr<ThreadContext>> threads_;
   std::uint64_t timeslice_;
-  Xoshiro256 rng_;
+  std::unique_ptr<SwitchPolicy> policy_;
+  std::vector<ThreadContext*> next_;  // reschedule scratch
   OsRunStats stats_;
 };
 

@@ -37,6 +37,18 @@ void append_machine(std::string& out, const MachineConfig& m) {
   append_i64(out, m.mul_latency);
   append_i64(out, m.mem_latency);
   append_i64(out, m.taken_branch_penalty);
+  // Heterogeneous machines extend the key with the per-cluster shapes;
+  // homogeneous machines keep the exact legacy key bytes.
+  if (m.heterogeneous) {
+    out += "het:";
+    for (int c = 0; c < m.num_clusters; ++c) {
+      const ClusterShape& s = m.per_cluster[static_cast<std::size_t>(c)];
+      append_i64(out, s.issue_width);
+      append_u64(out, s.mul_slot_mask);
+      append_u64(out, s.mem_slot_mask);
+      append_u64(out, s.branch_slot_mask);
+    }
+  }
 }
 
 std::string profile_program_key(const BenchmarkProfile& p,
@@ -238,7 +250,8 @@ SimResult SimInstance::run(
           config_.instruction_budget));
   }
 
-  OsScheduler os(threads_, config_.timeslice_cycles, config_.os_seed);
+  OsScheduler os(threads_, config_.timeslice_cycles, config_.os_seed,
+                 config_.switch_policy);
   const std::uint64_t cycles = os.run(core_, config_.max_cycles);
 
   SimResult r;
@@ -260,6 +273,7 @@ SimResult SimInstance::run(
   }
   r.icache = mem_.icache_stats();
   r.dcache = mem_.dcache_stats();
+  r.l2 = mem_.l2_stats();
   r.issued_per_cycle = core_.engine().issued_histogram();
   r.merge_nodes = core_.engine().node_stats();
   r.os = os.stats();

@@ -31,6 +31,8 @@ struct SimConfig {
   std::uint64_t max_cycles = 1ULL << 40;       ///< hard safety stop
   std::uint64_t os_seed = 0xC0FFEE;
   std::uint64_t stream_seed_base = 7;  ///< per-thread trace stream seeds
+  /// OS thread-switch policy (paper: random replacement each timeslice).
+  SwitchPolicyKind switch_policy = SwitchPolicyKind::kRandomTimeslice;
   /// Merge-statistics accounting. kFull populates SimResult's merge_nodes
   /// counters and issued_per_cycle histogram; kFast skips those writes on
   /// the hot path (labels stay, counters read zero) — every other result
@@ -63,6 +65,7 @@ struct SimResult {
   std::vector<ThreadResult> threads;
   RatioCounter icache;
   RatioCounter dcache;
+  RatioCounter l2;  ///< zero counters when the machine has no L2
   Histogram issued_per_cycle{1};
   std::vector<MergeNodeStats> merge_nodes;
   OsRunStats os;

@@ -66,15 +66,31 @@ void ThreadContext::consume(std::uint64_t cycle, MemorySystem& mem,
   int dmiss_total = 0;
   int dmiss_max = 0;
   bool taken = false;
+  const bool banked = mem.config().dcache_banks > 1;
+  std::uint32_t banks_touched = 0;
+  int bank_conflicts = 0;
   for (const std::uint8_t idx : *pending_patches_) {
     const Operation& op = pending_->op(idx);
     if (is_memory(op.kind)) {
       const MemAccessResult r = mem.data_access(hw_tid, op.addr);
       dmiss_total += r.penalty_cycles;
       dmiss_max = std::max(dmiss_max, r.penalty_cycles);
+      if (banked) {
+        // Same-packet accesses to one bank serialize: each repeat pays the
+        // conflict penalty (the first access per bank is free).
+        const std::uint32_t bit = 1u << r.bank;
+        if ((banks_touched & bit) != 0) ++bank_conflicts;
+        banks_touched |= bit;
+      }
     } else if (op.taken) {  // patch lists hold only memory and branch ops
       taken = true;
     }
+  }
+  if (bank_conflicts > 0) {
+    const int extra =
+        bank_conflicts * mem.config().bank_conflict_penalty;
+    stall += static_cast<std::uint64_t>(extra);
+    stats_.bank_conflict_cycles += static_cast<std::uint64_t>(extra);
   }
   const int dmiss =
       policy == MissPolicy::kSerialized ? dmiss_total : dmiss_max;

@@ -33,6 +33,9 @@ struct ThreadStats {
   std::uint64_t dcache_stall_cycles = 0;
   std::uint64_t icache_stall_cycles = 0;
   std::uint64_t branch_stall_cycles = 0;
+  /// Serialization cycles from same-packet accesses colliding on a DCache
+  /// bank (always 0 on unbanked machines).
+  std::uint64_t bank_conflict_cycles = 0;
 };
 
 /// A software thread executing one synthetic program.

@@ -93,6 +93,22 @@ JsonValue machine_to_json(const MachineConfig& m) {
   o.set("mul_latency", m.mul_latency);
   o.set("mem_latency", m.mem_latency);
   o.set("taken_branch_penalty", m.taken_branch_penalty);
+  // Heterogeneous extension (fuzz-case JSON stays v1: the key is simply
+  // absent for the classic homogeneous machines, so old corpora and old
+  // readers keep working byte-for-byte).
+  if (m.heterogeneous) {
+    JsonValue rows = JsonValue::array();
+    for (int c = 0; c < m.num_clusters; ++c) {
+      const ClusterShape& s = m.per_cluster[static_cast<std::size_t>(c)];
+      JsonValue row = JsonValue::object();
+      row.set("issue", s.issue_width);
+      row.set("mul", static_cast<std::uint64_t>(s.mul_slot_mask));
+      row.set("mem", static_cast<std::uint64_t>(s.mem_slot_mask));
+      row.set("branch", static_cast<std::uint64_t>(s.branch_slot_mask));
+      rows.push_back(std::move(row));
+    }
+    o.set("clusters", std::move(rows));
+  }
   return o;
 }
 
@@ -112,6 +128,20 @@ MachineConfig machine_from_json(const JsonValue& o) {
   m.mem_latency = static_cast<int>(o.get("mem_latency").as_int());
   m.taken_branch_penalty =
       static_cast<int>(o.get("taken_branch_penalty").as_int());
+  if (const JsonValue* rows = o.find("clusters")) {
+    CVMT_CHECK_MSG(rows->size() == static_cast<std::size_t>(m.num_clusters),
+                   "fuzz case: clusters array does not match num_clusters");
+    m.heterogeneous = true;
+    for (std::size_t c = 0; c < rows->size(); ++c) {
+      const JsonValue& row = rows->at(c);
+      ClusterShape& s = m.per_cluster[c];
+      s.issue_width = static_cast<int>(row.get("issue").as_int());
+      s.mul_slot_mask = static_cast<std::uint32_t>(row.get("mul").as_int());
+      s.mem_slot_mask = static_cast<std::uint32_t>(row.get("mem").as_int());
+      s.branch_slot_mask =
+          static_cast<std::uint32_t>(row.get("branch").as_int());
+    }
+  }
   return m;
 }
 
@@ -134,6 +164,10 @@ std::string FuzzCase::summary() const {
   os << scheme << " | " << profiles.size() << " sw-thread"
      << (profiles.size() == 1 ? "" : "s") << " | machine "
      << sim.machine.num_clusters << "x" << sim.machine.issue_per_cluster
+     << (sim.machine.heterogeneous ? " het" : "")
+     << (sim.mem.has_l2 ? " +L2" : "")
+     << (sim.mem.dcache_banks > 1 ? " banked" : "")
+     << " | policy " << to_string(sim.switch_policy)
      << " | budget " << sim.instruction_budget << " | timeslice "
      << sim.timeslice_cycles << " | priority "
      << static_cast<int>(sim.priority) << " | miss "
@@ -162,6 +196,13 @@ JsonValue FuzzCase::to_json() const {
   mem.set("dcache", cache_to_json(sim.mem.dcache));
   mem.set("shared", sim.mem.sharing == CacheSharing::kShared);
   mem.set("perfect", sim.mem.perfect);
+  // Hierarchy extensions: keys are emitted only when the feature is on,
+  // so legacy cases serialize exactly as before.
+  if (sim.mem.has_l2) mem.set("l2", cache_to_json(sim.mem.l2));
+  if (sim.mem.dcache_banks != 1) {
+    mem.set("dcache_banks", sim.mem.dcache_banks);
+    mem.set("bank_conflict_penalty", sim.mem.bank_conflict_penalty);
+  }
   s.set("mem", std::move(mem));
   s.set("priority", static_cast<int>(sim.priority));
   s.set("miss_policy", static_cast<int>(sim.miss_policy));
@@ -170,6 +211,8 @@ JsonValue FuzzCase::to_json() const {
   s.set("max_cycles", sim.max_cycles);
   s.set("os_seed", sim.os_seed);
   s.set("stream_seed_base", sim.stream_seed_base);
+  if (sim.switch_policy != SwitchPolicyKind::kRandomTimeslice)
+    s.set("switch_policy", std::string(to_string(sim.switch_policy)));
   o.set("sim", std::move(s));
   return o;
 }
@@ -192,6 +235,15 @@ FuzzCase FuzzCase::from_json(const JsonValue& v) {
   c.sim.mem.sharing = mem.get("shared").as_bool() ? CacheSharing::kShared
                                                   : CacheSharing::kPrivate;
   c.sim.mem.perfect = mem.get("perfect").as_bool();
+  if (const JsonValue* l2 = mem.find("l2")) {
+    c.sim.mem.has_l2 = true;
+    c.sim.mem.l2 = cache_from_json(*l2);
+  }
+  if (const JsonValue* banks = mem.find("dcache_banks")) {
+    c.sim.mem.dcache_banks = static_cast<int>(banks->as_int());
+    c.sim.mem.bank_conflict_penalty =
+        static_cast<int>(mem.get("bank_conflict_penalty").as_int());
+  }
   const std::int64_t priority = s.get("priority").as_int();
   CVMT_CHECK_MSG(priority >= 0 && priority <= 2,
                  "bad priority policy in fuzz case");
@@ -207,6 +259,11 @@ FuzzCase FuzzCase::from_json(const JsonValue& v) {
   c.sim.os_seed = static_cast<std::uint64_t>(s.get("os_seed").as_int());
   c.sim.stream_seed_base =
       static_cast<std::uint64_t>(s.get("stream_seed_base").as_int());
+  if (const JsonValue* pol = s.find("switch_policy")) {
+    CVMT_CHECK_MSG(
+        switch_policy_from_string(pol->as_string(), c.sim.switch_policy),
+        "bad switch policy in fuzz case: " + pol->as_string());
+  }
   return c;
 }
 

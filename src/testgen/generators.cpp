@@ -1,6 +1,7 @@
 #include "testgen/generators.hpp"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "support/check.hpp"
@@ -169,9 +170,37 @@ MachineConfig MachineGen::next_machine() {
       uniform_u64(rng_, 1, static_cast<std::uint64_t>(kMaxClusters)));
   const int max_issue =
       std::min(kMaxIssuePerCluster, kMaxTotalOps / clusters);
-  const int issue = static_cast<int>(
-      uniform_u64(rng_, 1, static_cast<std::uint64_t>(max_issue)));
-  MachineConfig m = MachineConfig::clustered(clusters, issue);
+
+  MachineConfig m;
+  if (clusters >= 2 && rng_.next_bool(0.25)) {
+    // Heterogeneous machine: every cluster draws its own width (standard
+    // capability layout for that width), and some clusters lose their
+    // multiplier entirely — the capability only has to exist somewhere.
+    std::array<ClusterShape, kMaxClusters> shapes{};
+    for (int c = 0; c < clusters; ++c) {
+      const int w = static_cast<int>(
+          uniform_u64(rng_, 1, static_cast<std::uint64_t>(max_issue)));
+      const MachineConfig proto = MachineConfig::clustered(1, w);
+      ClusterShape& s = shapes[static_cast<std::size_t>(c)];
+      s.issue_width = w;
+      s.mul_slot_mask = proto.mul_slot_mask;
+      s.mem_slot_mask = proto.mem_slot_mask;
+      s.branch_slot_mask = proto.branch_slot_mask;
+      if (rng_.next_bool(0.2)) s.mul_slot_mask = 0;
+    }
+    bool any_mul = false;
+    for (int c = 0; c < clusters; ++c)
+      any_mul = any_mul || shapes[static_cast<std::size_t>(c)]
+                                   .mul_slot_mask != 0;
+    if (!any_mul)
+      shapes[0].mul_slot_mask =
+          MachineConfig::clustered(1, shapes[0].issue_width).mul_slot_mask;
+    m = MachineConfig::heterogeneous_of(shapes.data(), clusters);
+  } else {
+    const int issue = static_cast<int>(
+        uniform_u64(rng_, 1, static_cast<std::uint64_t>(max_issue)));
+    m = MachineConfig::clustered(clusters, issue);
+  }
   m.mul_latency = static_cast<int>(uniform_u64(rng_, 1, 3));
   m.mem_latency = static_cast<int>(uniform_u64(rng_, 1, 3));
   m.taken_branch_penalty = static_cast<int>(uniform_u64(rng_, 0, 3));
@@ -193,6 +222,20 @@ MemorySystemConfig MachineGen::next_memory() {
   mem.sharing =
       rng_.next_bool(0.7) ? CacheSharing::kShared : CacheSharing::kPrivate;
   mem.perfect = rng_.next_bool(0.1);
+  // New hierarchy axes: a unified L2 behind the L1s, and a banked DCache.
+  // Both default off so the paper's flat machines stay the common case.
+  if (rng_.next_bool(0.3)) {
+    mem.has_l2 = true;
+    mem.l2.size_bytes = std::uint64_t{1} << uniform_u64(rng_, 15, 18);
+    mem.l2.line_bytes = mem.dcache.line_bytes;
+    mem.l2.ways = std::uint32_t{1} << uniform_u64(rng_, 1, 3);
+    mem.l2.miss_penalty = static_cast<int>(uniform_u64(rng_, 20, 120));
+  }
+  if (rng_.next_bool(0.5)) {
+    mem.dcache_banks = 1 << uniform_u64(rng_, 1, 3);
+    mem.bank_conflict_penalty = static_cast<int>(uniform_u64(rng_, 1, 4));
+  }
+  mem.validate();
   return mem;
 }
 
@@ -237,6 +280,7 @@ FuzzCase generate_case(std::uint64_t seed) {
   c.sim.max_cycles = std::uint64_t{1} << 22;
   c.sim.os_seed = rng.next();
   c.sim.stream_seed_base = rng.next();
+  c.sim.switch_policy = static_cast<SwitchPolicyKind>(rng.next_below(3));
   return c;
 }
 

@@ -76,6 +76,10 @@ std::string compare_sim_results(const SimResult& a, const SimResult& b,
       return diff(at + "stats.branch_stall_cycles",
                   ta.stats.branch_stall_cycles,
                   tb.stats.branch_stall_cycles);
+    if (ta.stats.bank_conflict_cycles != tb.stats.bank_conflict_cycles)
+      return diff(at + "stats.bank_conflict_cycles",
+                  ta.stats.bank_conflict_cycles,
+                  tb.stats.bank_conflict_cycles);
   }
   if (a.icache.hits != b.icache.hits)
     return diff("icache.hits", a.icache.hits, b.icache.hits);
@@ -85,6 +89,9 @@ std::string compare_sim_results(const SimResult& a, const SimResult& b,
     return diff("dcache.hits", a.dcache.hits, b.dcache.hits);
   if (a.dcache.total != b.dcache.total)
     return diff("dcache.total", a.dcache.total, b.dcache.total);
+  if (a.l2.hits != b.l2.hits) return diff("l2.hits", a.l2.hits, b.l2.hits);
+  if (a.l2.total != b.l2.total)
+    return diff("l2.total", a.l2.total, b.l2.total);
   if (a.os.context_switches != b.os.context_switches)
     return diff("os.context_switches", a.os.context_switches,
                 b.os.context_switches);

@@ -133,6 +133,15 @@ std::vector<FuzzCase> candidates(const FuzzCase& c) {
   }
 
   // 4. Simpler machine and memory.
+  if (c.sim.machine.heterogeneous) {
+    FuzzCase cand = c;
+    const int width =
+        std::min(c.sim.machine.max_issue_per_cluster(),
+                 kMaxTotalOps / c.sim.machine.num_clusters);
+    cand.sim.machine =
+        MachineConfig::clustered(c.sim.machine.num_clusters, width);
+    out.push_back(std::move(cand));
+  }
   if (c.sim.machine.num_clusters > 1) {
     FuzzCase cand = c;
     cand.sim.machine =
@@ -145,6 +154,16 @@ std::vector<FuzzCase> candidates(const FuzzCase& c) {
         MachineConfig::clustered(c.sim.machine.num_clusters, 2);
     out.push_back(std::move(cand));
   }
+  if (c.sim.mem.has_l2) {
+    FuzzCase cand = c;
+    cand.sim.mem.has_l2 = false;
+    out.push_back(std::move(cand));
+  }
+  if (c.sim.mem.dcache_banks > 1) {
+    FuzzCase cand = c;
+    cand.sim.mem.dcache_banks = 1;
+    out.push_back(std::move(cand));
+  }
   if (!c.sim.mem.perfect) {
     FuzzCase cand = c;
     cand.sim.mem.perfect = true;
@@ -152,6 +171,11 @@ std::vector<FuzzCase> candidates(const FuzzCase& c) {
   }
 
   // 5. Default policies.
+  if (c.sim.switch_policy != SwitchPolicyKind::kRandomTimeslice) {
+    FuzzCase cand = c;
+    cand.sim.switch_policy = SwitchPolicyKind::kRandomTimeslice;
+    out.push_back(std::move(cand));
+  }
   if (c.sim.priority != PriorityPolicy::kRoundRobin) {
     FuzzCase cand = c;
     cand.sim.priority = PriorityPolicy::kRoundRobin;

@@ -36,7 +36,7 @@ bool place_op(Instruction& instr, std::uint32_t occupied[kMaxClusters],
   for (int probe = 0; probe < machine.num_clusters; ++probe) {
     const int c = (preferred + probe) % machine.num_clusters;
     const std::uint32_t free_capable =
-        machine.slots_for(kind) & ~occupied[c];
+        machine.slots_for(kind, c) & ~occupied[c];
     if (free_capable == 0) continue;
     const int slot = std::countr_zero(free_capable);
     occupied[c] |= 1u << slot;

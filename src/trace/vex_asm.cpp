@@ -85,6 +85,19 @@ Instruction parse_instruction(std::string_view body, int line_no) {
   return instr;
 }
 
+/// The `.machine` directive's issue= field: the flat width, or a
+/// comma-separated per-cluster list for heterogeneous machines
+/// (e.g. "4,4,2,1").
+std::string issue_field_of(const MachineConfig& m) {
+  if (!m.heterogeneous) return std::to_string(m.issue_per_cluster);
+  std::string out;
+  for (int c = 0; c < m.num_clusters; ++c) {
+    if (c) out += ',';
+    out += std::to_string(m.cluster_issue(c));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string dump_program(const SyntheticProgram& program) {
@@ -93,7 +106,7 @@ std::string dump_program(const SyntheticProgram& program) {
   std::ostringstream os;
   os << ".program " << p.name << "\n";
   os << ".machine clusters=" << m.num_clusters << " issue="
-     << m.issue_per_cluster << "\n";
+     << issue_field_of(m) << "\n";
   os << ".stride " << p.hot_stride << "\n";
   os << ".codebytes " << p.code_bytes_per_instr << "\n";
   os << ".midtaken " << format_fixed(p.mid_branch_taken, 4) << "\n";
@@ -144,8 +157,7 @@ std::shared_ptr<const SyntheticProgram> parse_program(
     } else if (line.rfind(".machine", 0) == 0) {
       CVMT_CHECK_MSG(static_cast<int>(lp.field_u64("clusters")) ==
                              machine.num_clusters &&
-                         static_cast<int>(lp.field_u64("issue")) ==
-                             machine.issue_per_cluster,
+                         lp.field("issue") == issue_field_of(machine),
                      "line " + std::to_string(line_no) +
                          ": .machine does not match the target machine");
       machine_seen = true;

@@ -166,5 +166,75 @@ TEST(MemorySystem, StatsAggregateAcrossPrivateCaches) {
   EXPECT_EQ(mem.dcache_stats().hits, 0u);
 }
 
+TEST(MemorySystemConfig, ValidateRejectsBadBankCounts) {
+  MemorySystemConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());  // defaults are the legacy machine
+  cfg.dcache_banks = 3;             // not a power of two
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.dcache_banks = 4;
+  cfg.bank_conflict_penalty = -1;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(MemorySystem, L2MissAddsItsPenaltyOnTopOfL1) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();  // L1 penalty 20
+  cfg.has_l2 = true;
+  cfg.l2 = CacheConfig{8192, 64, 4, 80};
+  MemorySystem mem(cfg, 1);
+  // Cold: L1 miss + L2 miss -> 20 + 80.
+  EXPECT_EQ(mem.data_access(0, 0x100).penalty_cycles, 100);
+  // Warm in both: free.
+  EXPECT_EQ(mem.data_access(0, 0x100).penalty_cycles, 0);
+  EXPECT_EQ(mem.l2_stats().total, 1u);
+  EXPECT_EQ(mem.l2_stats().hits, 0u);
+}
+
+TEST(MemorySystem, L2HitCostsOnlyTheL1Penalty) {
+  // A tiny L1 over a big L2: evict a line from L1, keep it in L2.
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = CacheConfig{128, 64, 1, 20};  // 2 sets, direct
+  cfg.has_l2 = true;
+  cfg.l2 = CacheConfig{8192, 64, 4, 80};
+  MemorySystem mem(cfg, 1);
+  EXPECT_EQ(mem.data_access(0, 0x000).penalty_cycles, 100);  // cold both
+  EXPECT_EQ(mem.data_access(0, 0x200).penalty_cycles, 100);  // evicts 0x000
+  EXPECT_EQ(mem.data_access(0, 0x000).penalty_cycles, 20);   // L2 still has it
+}
+
+TEST(MemorySystem, PerfectModeBypassesTheL2Too) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();
+  cfg.has_l2 = true;
+  cfg.perfect = true;
+  MemorySystem mem(cfg, 1);
+  EXPECT_EQ(mem.data_access(0, 0x123456).penalty_cycles, 0);
+  EXPECT_EQ(mem.l2_stats().total, 0u);
+}
+
+TEST(MemorySystem, BankIndexFollowsLineAddress) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();  // 64B lines
+  cfg.dcache_banks = 4;
+  MemorySystem mem(cfg, 1);
+  EXPECT_EQ(mem.data_access(0, 0x000).bank, 0);
+  EXPECT_EQ(mem.data_access(0, 0x03F).bank, 0);  // same line, same bank
+  EXPECT_EQ(mem.data_access(0, 0x040).bank, 1);
+  EXPECT_EQ(mem.data_access(0, 0x0C0).bank, 3);
+  EXPECT_EQ(mem.data_access(0, 0x100).bank, 0);  // wraps modulo banks
+}
+
+TEST(MemorySystem, ResetClearsTheL2) {
+  MemorySystemConfig cfg;
+  cfg.icache = cfg.dcache = small_cache();
+  cfg.has_l2 = true;
+  cfg.l2 = CacheConfig{8192, 64, 4, 80};
+  MemorySystem mem(cfg, 1);
+  mem.data_access(0, 0x100);
+  mem.reset();
+  // After reset the L2 is cold again: full double penalty.
+  EXPECT_EQ(mem.data_access(0, 0x100).penalty_cycles, 100);
+}
+
 }  // namespace
 }  // namespace cvmt

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "exp/driver.hpp"
+#include "isa/machine_file.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
 
@@ -223,6 +224,79 @@ TEST(Driver, MachineShapeFlagChangesTheMachine) {
   const ExperimentParams p = ExperimentParams::resolve(parser);
   EXPECT_EQ(p.cfg.sim.machine.num_clusters, 2);
   EXPECT_EQ(p.cfg.sim.machine.issue_per_cluster, 8);
+}
+
+TEST(Driver, MachineFlagResolvesBuiltinsAsOneUnit) {
+  ArgParser parser("t", "");
+  ExperimentParams::add_standard_flags(parser);
+  const char* argv[] = {"t", "--machine=l2banked"};
+  ASSERT_EQ(parser.parse(2, argv), ArgParser::Outcome::kOk);
+  const ExperimentParams p = ExperimentParams::resolve(parser);
+  EXPECT_EQ(p.machine_spec, "l2banked");
+  EXPECT_TRUE(p.cfg.sim.mem.has_l2);
+  EXPECT_EQ(p.cfg.sim.mem.dcache_banks, 4);
+  EXPECT_TRUE(p.cfg.sim.machine == MachineConfig::vex4x4());
+}
+
+TEST(Driver, MachineFlagConflictsWithShapeFlags) {
+  ArgParser parser("t", "");
+  ExperimentParams::add_standard_flags(parser);
+  const char* argv[] = {"t", "--machine=vex4x4", "--clusters=2"};
+  ASSERT_EQ(parser.parse(3, argv), ArgParser::Outcome::kOk);
+  EXPECT_THROW((void)ExperimentParams::resolve(parser), CheckError);
+}
+
+TEST(Driver, MachinesSubcommandListsBuiltins) {
+  const char* argv[] = {"cvmt", "machines"};
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(cvmt_main(2, argv), 0);
+  const std::string out = testing::internal::GetCapturedStdout();
+  for (const std::string& name : builtin_machine_names())
+    EXPECT_NE(out.find(name), std::string::npos) << name << "\n" << out;
+}
+
+TEST(Driver, MachinesSubcommandValidatesFiles) {
+  const std::string good = testing::TempDir() + "cvmt_good.machine";
+  {
+    MachineDescription d;
+    ASSERT_TRUE(find_builtin_machine("het4422", d));
+    std::ofstream f(good, std::ios::binary);
+    f << serialize_machine(d);
+  }
+  const char* ok_argv[] = {"cvmt", "machines", good.c_str()};
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(cvmt_main(3, ok_argv), 0);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("ok"), std::string::npos) << out;
+  EXPECT_NE(out.find("het4422"), std::string::npos) << out;
+  std::remove(good.c_str());
+
+  const std::string bad = testing::TempDir() + "cvmt_bad.machine";
+  {
+    std::ofstream f(bad, std::ios::binary);
+    f << "clusters 1\nissue 2\nmul_slots 0x4\n";
+  }
+  const char* bad_argv[] = {"cvmt", "machines", bad.c_str()};
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(cvmt_main(3, bad_argv), 1);
+  (void)testing::internal::GetCapturedStdout();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("mul slot beyond issue width"), std::string::npos)
+      << err;
+  std::remove(bad.c_str());
+
+  const char* missing_argv[] = {"cvmt", "machines", "/no/such.machine"};
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(cvmt_main(3, missing_argv), 1);
+  (void)testing::internal::GetCapturedStdout();
+  (void)testing::internal::GetCapturedStderr();
+}
+
+TEST(Driver, AblationMachineFilesIsRegistered) {
+  const Experiment& e = get("ablation_machine_files");
+  EXPECT_EQ(e.artifact, "extension");
 }
 
 }  // namespace

@@ -138,6 +138,42 @@ TEST(Footprint, SmtAllowsDistinctFixedUnits) {
   EXPECT_TRUE(Footprint::smt_compatible(fp(a, kM16), fp(b, kM16), kM16));
 }
 
+TEST(Footprint, SmtHonoursPerClusterWidthsOnHeterogeneousMachines) {
+  // Cluster 0 is 4-wide, cluster 1 only 2-wide: the same 2+1 op mix that
+  // fits cluster 0 overflows cluster 1.
+  const ClusterShape shapes[2] = {
+      {4, 0b0011, 0b0100, 0b1000},
+      {2, 0b01, 0b10, 0b10},
+  };
+  const MachineConfig het = MachineConfig::heterogeneous_of(shapes, 2);
+  for (int c = 0; c < 2; ++c) {
+    Instruction a, b;
+    a.add(make_alu(c, 0));
+    a.add(make_alu(c, 1));
+    b.add(make_alu(c, 0));
+    const bool ok =
+        Footprint::smt_compatible(fp(a, het), fp(b, het), het);
+    EXPECT_EQ(ok, c == 0) << "cluster " << c;
+  }
+}
+
+TEST(Footprint, HetDisjointClustersAlwaysSmtMerge) {
+  const ClusterShape shapes[2] = {
+      {4, 0b0011, 0b0100, 0b1000},
+      {1, 0b1, 0b1, 0b1},
+  };
+  const MachineConfig het = MachineConfig::heterogeneous_of(shapes, 2);
+  Instruction a, b;
+  for (int s = 0; s < 4; ++s) a.add(make_alu(0, s));
+  b.add(make_alu(1, 0));
+  EXPECT_TRUE(Footprint::smt_compatible(fp(a, het), fp(b, het), het));
+  // And the fixed-unit collision rule still applies on the narrow cluster.
+  Instruction c, d;
+  c.add(make_load(1, 0, 0x1));
+  d.add(make_store(1, 0, 0x2));
+  EXPECT_FALSE(Footprint::smt_compatible(fp(c, het), fp(d, het), het));
+}
+
 TEST(Footprint, CsmtIsClusterGranular) {
   Instruction a, b;
   a.add(make_alu(0, 0));

@@ -85,6 +85,43 @@ TEST(MachineGenTest, ShapesValidateAndStayWithinTotalOps) {
   }
 }
 
+TEST(MachineGenTest, NewMachineAxesAreAllExercised) {
+  // Heterogeneous shapes, L2 hierarchies, banked DCaches and every switch
+  // policy must each appear with real frequency — otherwise the five
+  // differential oracles silently stop covering the new machine axes.
+  int het = 0, mixed_widths = 0, no_mul_cluster = 0;
+  int l2 = 0, banked = 0;
+  std::set<SwitchPolicyKind> policies;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const FuzzCase c = generate_case(seed);
+    c.sim.machine.validate();
+    c.sim.mem.validate();
+    if (c.sim.machine.heterogeneous) {
+      ++het;
+      const MachineConfig& m = c.sim.machine;
+      for (int cl = 1; cl < m.num_clusters; ++cl)
+        if (m.cluster_issue(cl) != m.cluster_issue(0)) {
+          ++mixed_widths;
+          break;
+        }
+      for (int cl = 0; cl < m.num_clusters; ++cl)
+        if (m.slots_for(OpKind::kMul, cl) == 0) {
+          ++no_mul_cluster;
+          break;
+        }
+    }
+    if (c.sim.mem.has_l2) ++l2;
+    if (c.sim.mem.dcache_banks > 1) ++banked;
+    policies.insert(c.sim.switch_policy);
+  }
+  EXPECT_GT(het, 20);
+  EXPECT_GT(mixed_widths, 10);       // widths genuinely differ, not 4+4+4
+  EXPECT_GT(no_mul_cluster, 5);      // capability-free clusters occur
+  EXPECT_GT(l2, 40);
+  EXPECT_GT(banked, 60);
+  EXPECT_EQ(policies.size(), 3u);    // random, prestall, poststall
+}
+
 TEST(CaseGenTest, CasesAreReproducibleFromTheirSeed) {
   const FuzzCase a = generate_case(12345);
   const FuzzCase b = generate_case(12345);

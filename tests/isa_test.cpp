@@ -115,6 +115,85 @@ TEST(MachineConfig, EqualityComparesAllFields) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(MachineConfig, NarrowClustersShareSlotsAndStillValidate) {
+  // Below 4-issue there is no room for dedicated LSU and branch slots:
+  // a 2-wide cluster shares slot 1 between them, a 1-wide cluster runs
+  // everything through its single slot. validate() must accept both.
+  const MachineConfig w2 = MachineConfig::clustered(4, 2);
+  EXPECT_EQ(w2.mul_slot_mask, 0b01u);
+  EXPECT_EQ(w2.mem_slot_mask, 0b10u);
+  EXPECT_EQ(w2.branch_slot_mask, 0b10u);
+  EXPECT_EQ(w2.mem_slot_mask, w2.branch_slot_mask);  // shared slot
+  EXPECT_NO_THROW(w2.validate());
+
+  const MachineConfig w1 = MachineConfig::clustered(2, 1);
+  EXPECT_EQ(w1.mul_slot_mask, 0b1u);
+  EXPECT_EQ(w1.mem_slot_mask, 0b1u);
+  EXPECT_EQ(w1.branch_slot_mask, 0b1u);
+  EXPECT_NO_THROW(w1.validate());
+
+  // At width 3 each unit gets its own (single) slot: no sharing needed.
+  const MachineConfig w3 = MachineConfig::clustered(2, 3);
+  EXPECT_EQ(w3.mul_slot_mask & w3.mem_slot_mask, 0u);
+  EXPECT_EQ(w3.mem_slot_mask & w3.branch_slot_mask, 0u);
+  EXPECT_NO_THROW(w3.validate());
+}
+
+TEST(MachineConfig, HeterogeneousFactoryAndAccessors) {
+  const ClusterShape shapes[3] = {
+      {4, 0b0011, 0b0100, 0b1000},
+      {2, 0b01, 0b10, 0b10},
+      {1, 0b0, 0b1, 0b1},  // no multiplier here
+  };
+  const MachineConfig m = MachineConfig::heterogeneous_of(shapes, 3);
+  EXPECT_TRUE(m.heterogeneous);
+  EXPECT_EQ(m.num_clusters, 3);
+  EXPECT_EQ(m.cluster_issue(0), 4);
+  EXPECT_EQ(m.cluster_issue(1), 2);
+  EXPECT_EQ(m.cluster_issue(2), 1);
+  EXPECT_EQ(m.max_issue_per_cluster(), 4);
+  EXPECT_EQ(m.total_issue_width(), 7);
+  EXPECT_EQ(m.slots_for(OpKind::kMul, 0), 0b0011u);
+  EXPECT_EQ(m.slots_for(OpKind::kMul, 2), 0u);
+  EXPECT_EQ(m.slots_for(OpKind::kAlu, 1), 0b11u);
+  EXPECT_EQ(m.slots_for(OpKind::kLoad, 2), 0b1u);
+}
+
+TEST(MachineConfig, HeterogeneousValidateNeedsEachCapabilitySomewhere) {
+  // No cluster has a multiplier: machine-wide capability check fires.
+  const ClusterShape shapes[2] = {
+      {2, 0b00, 0b10, 0b10},
+      {2, 0b00, 0b10, 0b10},
+  };
+  EXPECT_THROW(MachineConfig::heterogeneous_of(shapes, 2), CheckError);
+}
+
+TEST(MachineConfig, HeterogeneousValidateBoundsTotalWidth) {
+  ClusterShape shapes[8];
+  for (ClusterShape& s : shapes)
+    s = ClusterShape{8, 0b0011, 0b0100, 1u << 7};
+  // 8 clusters x 8-wide = 64 ops > kMaxTotalOps.
+  EXPECT_THROW(MachineConfig::heterogeneous_of(shapes, 8), CheckError);
+}
+
+TEST(MachineConfig, HeterogeneousEqualityComparesActiveClusters) {
+  const ClusterShape shapes[2] = {
+      {4, 0b0011, 0b0100, 0b1000},
+      {2, 0b01, 0b10, 0b10},
+  };
+  const MachineConfig a = MachineConfig::heterogeneous_of(shapes, 2);
+  MachineConfig b = a;
+  EXPECT_TRUE(a == b);
+  b.per_cluster[1].issue_width = 1;
+  b.per_cluster[1].mul_slot_mask = 0b1;
+  b.per_cluster[1].mem_slot_mask = 0b1;
+  b.per_cluster[1].branch_slot_mask = 0b1;
+  EXPECT_FALSE(a == b);
+  // A homogeneous machine never equals a heterogeneous one.
+  EXPECT_FALSE(MachineConfig::vex4x4() ==
+               MachineConfig::heterogeneous_of(shapes, 2));
+}
+
 TEST(Instruction, EmptyInstructionIsValidBubble) {
   const Instruction instr;
   EXPECT_TRUE(instr.empty());

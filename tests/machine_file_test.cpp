@@ -1,0 +1,234 @@
+// Machine description files (src/isa/machine_file): the KEY-value
+// grammar, parse -> serialize -> parse round trips for every built-in
+// and every checked-in example file, diagnostics for malformed files,
+// and the resolve_machine() builtin-name-or-path contract.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "isa/machine_file.hpp"
+#include "support/check.hpp"
+
+#ifndef CVMT_SOURCE_DIR
+#error "CVMT_SOURCE_DIR must be defined (see CMakeLists.txt)"
+#endif
+
+namespace cvmt {
+namespace {
+
+std::string machines_dir() {
+  return std::string(CVMT_SOURCE_DIR) + "/examples/machines";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Expects that parsing `text` throws a CheckError whose message contains
+/// `needle`; returns the full message for further checks.
+std::string expect_parse_error(const std::string& text,
+                               const std::string& needle) {
+  try {
+    (void)parse_machine_file(text);
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "message \"" << msg << "\" does not mention \"" << needle
+        << "\"";
+    return msg;
+  }
+  ADD_FAILURE() << "no error for:\n" << text;
+  return {};
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(MachineFileTest, EveryBuiltinRoundTripsThroughItsSerialization) {
+  for (const std::string& name : builtin_machine_names()) {
+    MachineDescription d;
+    ASSERT_TRUE(find_builtin_machine(name, d)) << name;
+    EXPECT_EQ(d.name, name);
+    const std::string text = serialize_machine(d);
+    const MachineDescription reparsed = parse_machine_file(text);
+    EXPECT_TRUE(reparsed == d) << name << ":\n" << text;
+    // Serialization is canonical: a second trip is byte-identical.
+    EXPECT_EQ(serialize_machine(reparsed), text) << name;
+  }
+}
+
+TEST(MachineFileTest, UnknownBuiltinNameIsRejected) {
+  MachineDescription d;
+  EXPECT_FALSE(find_builtin_machine("vex9x9", d));
+}
+
+TEST(MachineFileTest, ExampleFilesLoadAndRoundTrip) {
+  int seen = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(machines_dir())) {
+    if (entry.path().extension() != ".machine") continue;
+    ++seen;
+    const std::string path = entry.path().string();
+    const MachineDescription d = load_machine_file(path);
+    const MachineDescription reparsed =
+        parse_machine_file(serialize_machine(d));
+    EXPECT_TRUE(reparsed == d) << path;
+  }
+  EXPECT_GE(seen, 3) << "examples/machines/ lost its example files";
+}
+
+TEST(MachineFileTest, ExampleFilesAreTheBuiltinsSerializations) {
+  // The examples mirror built-ins by construction; keeping them byte-equal
+  // to serialize_machine() means `cvmt machines FILE` and the docs never
+  // drift from the code.
+  for (const char* name : {"vex4x4", "het4422", "l2banked", "poststall"}) {
+    MachineDescription d;
+    ASSERT_TRUE(find_builtin_machine(name, d));
+    EXPECT_EQ(read_file(machines_dir() + "/" + name + ".machine"),
+              serialize_machine(d))
+        << name;
+  }
+}
+
+TEST(MachineFileTest, HeterogeneousExampleIsActuallyHeterogeneous) {
+  const MachineDescription d =
+      load_machine_file(machines_dir() + "/het4422.machine");
+  EXPECT_TRUE(d.machine.heterogeneous);
+  EXPECT_EQ(d.machine.num_clusters, 4);
+  EXPECT_EQ(d.machine.cluster_issue(0), 4);
+  EXPECT_EQ(d.machine.cluster_issue(2), 2);
+  EXPECT_EQ(d.machine.total_issue_width(), 12);
+  // Cluster 3 has no multiplier: the mask really parsed as empty.
+  EXPECT_EQ(d.machine.slots_for(OpKind::kMul, 3), 0u);
+  EXPECT_NE(d.machine.slots_for(OpKind::kMul, 0), 0u);
+}
+
+TEST(MachineFileTest, L2BankedExampleConfiguresTheHierarchy) {
+  const MachineDescription d =
+      load_machine_file(machines_dir() + "/l2banked.machine");
+  EXPECT_TRUE(d.mem.has_l2);
+  EXPECT_EQ(d.mem.l2.size_bytes, 256u * 1024u);
+  EXPECT_EQ(d.mem.dcache_banks, 4);
+  EXPECT_EQ(d.mem.bank_conflict_penalty, 2);
+  EXPECT_EQ(d.switch_policy, SwitchPolicyKind::kRandomTimeslice);
+}
+
+TEST(MachineFileTest, PoststallExampleSelectsThePolicy) {
+  const MachineDescription d =
+      load_machine_file(machines_dir() + "/poststall.machine");
+  EXPECT_EQ(d.switch_policy, SwitchPolicyKind::kPoststall);
+}
+
+// ------------------------------------------------------------- grammar
+
+TEST(MachineFileTest, CommentsAndBlankLinesAreIgnored) {
+  const MachineDescription d = parse_machine_file(
+      "# full-line comment\n"
+      "\n"
+      "name tiny   # trailing comment\n"
+      "clusters 1\n"
+      "issue 2\n"
+      "mul_slots 0x1\n"
+      "mem_slots 0x2\n"
+      "branch_slots 0x2\n");
+  EXPECT_EQ(d.name, "tiny");
+  EXPECT_EQ(d.machine.num_clusters, 1);
+  EXPECT_EQ(d.machine.issue_per_cluster, 2);
+}
+
+TEST(MachineFileTest, DecimalAndHexMasksAreBothAccepted) {
+  const MachineDescription d = parse_machine_file(
+      "clusters 1\nissue 4\nmul_slots 3\nmem_slots 0x4\n"
+      "branch_slots 8\n");
+  EXPECT_EQ(d.machine.mul_slot_mask, 0b0011u);
+  EXPECT_EQ(d.machine.mem_slot_mask, 0b0100u);
+  EXPECT_EQ(d.machine.branch_slot_mask, 0b1000u);
+}
+
+// ---------------------------------------------------------- diagnostics
+
+TEST(MachineFileTest, DuplicateKeyNamesTheLine) {
+  const std::string msg = expect_parse_error(
+      "clusters 2\nissue 4\nclusters 4\n", "duplicate key 'clusters'");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(MachineFileTest, OutOfRangeMaskIsRejectedByValidate) {
+  // mul slot 4 does not exist in a 2-wide cluster.
+  expect_parse_error("clusters 1\nissue 2\nmul_slots 0x4\n",
+                     "mul slot beyond issue width");
+}
+
+TEST(MachineFileTest, UnknownSwitchPolicyListsTheChoices) {
+  const std::string msg = expect_parse_error("switch_policy lottery\n",
+                                             "unknown switch policy");
+  EXPECT_NE(msg.find("random|prestall|poststall"), std::string::npos)
+      << msg;
+}
+
+TEST(MachineFileTest, UnknownKeyNamesTheKey) {
+  expect_parse_error("turbo_boost 9000\n", "unknown key 'turbo_boost'");
+}
+
+TEST(MachineFileTest, NonNumericValueIsDiagnosed) {
+  expect_parse_error("clusters four\n", "not a number: 'four'");
+}
+
+TEST(MachineFileTest, WrongCacheArityIsDiagnosed) {
+  expect_parse_error("icache 65536 64\n", "'icache' needs 4 values");
+}
+
+TEST(MachineFileTest, ClusterRowsCannotMixWithFlatShapeKeys) {
+  expect_parse_error(
+      "clusters 2\nissue 4\ncluster 0 4 0x3 0x4 0x8\n"
+      "cluster 1 4 0x3 0x4 0x8\n",
+      "'cluster' rows cannot be mixed");
+}
+
+TEST(MachineFileTest, ClusterIndexOutOfRangeIsDiagnosed) {
+  expect_parse_error(
+      "clusters 2\ncluster 0 4 0x3 0x4 0x8\ncluster 2 4 0x3 0x4 0x8\n",
+      "cluster index 2 out of range (0..1)");
+}
+
+TEST(MachineFileTest, DuplicateClusterRowIsDiagnosed) {
+  expect_parse_error(
+      "clusters 2\ncluster 0 4 0x3 0x4 0x8\ncluster 0 4 0x3 0x4 0x8\n",
+      "duplicate cluster index 0");
+}
+
+TEST(MachineFileTest, MissingClusterRowIsDiagnosed) {
+  expect_parse_error("clusters 2\ncluster 0 4 0x3 0x4 0x8\n",
+                     "missing 'cluster 1' row");
+}
+
+// ------------------------------------------------------- resolve_machine
+
+TEST(MachineFileTest, ResolveFindsBuiltinsByName) {
+  const MachineDescription d = resolve_machine("het4422");
+  EXPECT_TRUE(d.machine.heterogeneous);
+}
+
+TEST(MachineFileTest, ResolveLoadsFilesByPath) {
+  const MachineDescription d =
+      resolve_machine(machines_dir() + "/l2banked.machine");
+  EXPECT_TRUE(d.mem.has_l2);
+}
+
+TEST(MachineFileTest, ResolveRejectsUnknownSpecs) {
+  try {
+    (void)resolve_machine("no-such-machine");
+    FAIL() << "resolve_machine accepted a bogus spec";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown machine"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cvmt
