@@ -1,0 +1,219 @@
+// Wall-clock validation of the lockstep batch engine: the dense
+// many-small-runs grid (every paper scheme x every Table 2 workload)
+// executed through the PR 5 session-reuse baseline and through SimBatch
+// at a sweep of lane counts, at a sweep of run budgets. The baseline is
+// deliberately the *strong* one — SimSession already compiles schemes
+// once and resets instances in place — so the measured speedup is what
+// the batch engine adds on top: no per-run session key lookup or config
+// copy, no per-run OsScheduler/policy construction, arena-pooled thread
+// contexts, batch-shared stream recordings replayed across the scheme
+// grid, and affinity-aware lane refill.
+//
+// Every batch result must be bit-identical to its session twin on every
+// SimResult counter (the process exits non-zero otherwise); the headline
+// number is the small-budget throughput ratio at the widest lane count.
+// Small budgets are the fuzz/shrink regime: one oracle configuration or
+// one shrink candidate is a run of a few thousand cycles, and sweeps of
+// those are where per-run overhead dominates. Deliberately not a registry
+// experiment (wall-clock output); the perf trajectory records it via
+// --format=json as BENCH_batch_engine.json, structure-diffed in CI.
+//
+//   ./bench_batch_engine [--budget=N] [--timeslice=N] [--reps=N]
+//                        [--format=table|json] [--out=FILE]
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/bench_artifact.hpp"
+#include "sim/batch_engine.hpp"
+#include "sim/session.hpp"
+#include "support/args.hpp"
+#include "testgen/oracle.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cvmt;
+  ArgParser args("bench_batch_engine",
+                 "Lockstep batch-engine throughput vs the session-reuse "
+                 "baseline over a lane-count x run-budget sweep, "
+                 "bit-identity checked on every grid point.");
+  args.add_u64("budget", "N",
+               "Small-regime instruction budget per thread and run; the "
+               "sweep also measures 10x this.",
+               "CVMT_BUDGET");
+  args.add_u64("timeslice", "N", "OS timeslice in cycles.",
+               "CVMT_TIMESLICE");
+  args.add_u64("reps", "N", "Grid repetitions per timed pass.");
+  args.add_string("format", "fmt",
+                  "Output format: aligned table or the registry-style "
+                  "JSON envelope.",
+                  {}, {"table", "json"});
+  args.add_string("out", "file",
+                  "Write the report to this file instead of stdout "
+                  "(atomic replace; diagnostics stay on stderr).");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+
+  const std::uint64_t small_budget = args.get_u64("budget", 40);
+  const std::uint64_t timeslice = args.get_u64("timeslice", 50);
+  const std::uint64_t reps = args.get_u64("reps", 6);
+  const std::vector<int> lane_counts = {1, 2, 4, 8};
+
+  // The grid: 16 paper schemes x 9 workloads, artifacts shared by both
+  // paths (compilation cost is not under test).
+  const std::vector<Scheme> schemes = Scheme::paper_schemes_4t();
+  ArtifactCache& artifacts = ArtifactCache::global();
+  std::vector<std::shared_ptr<const CompiledScheme>> compiled;
+  for (const Scheme& s : schemes)
+    compiled.push_back(artifacts.scheme(s, MachineConfig::vex4x4()));
+  std::vector<std::shared_ptr<const CompiledWorkload>> workloads;
+  for (const Workload& wl : table2_workloads())
+    workloads.push_back(
+        artifacts.workload(wl.benchmarks, MachineConfig::vex4x4()));
+  const std::size_t grid_points = schemes.size() * workloads.size();
+
+  SimSession session(artifacts);
+  // One persistent batch per lane count, symmetric with the persistent
+  // session: both paths keep their warm state (compiled artifacts and
+  // instances there; arena pools and stream recordings here) across
+  // passes, so the timed loop measures steady-state sweep
+  // throughput on both sides.
+  std::vector<std::unique_ptr<SimBatch>> batches;
+  for (const int lanes : lane_counts)
+    batches.push_back(std::make_unique<SimBatch>(lanes));
+  Dataset grid({ColumnSpec::integer("Budget"), ColumnSpec::str("Path"),
+                ColumnSpec::real("Wall s", 3),
+                ColumnSpec::real("Runs/s", 0),
+                ColumnSpec::real("Speedup", 2, "x")});
+  double headline_speedup = 0.0;
+
+  for (const std::uint64_t budget : {small_budget, small_budget * 10}) {
+    SimConfig cfg;
+    cfg.instruction_budget = budget;
+    cfg.timeslice_cycles = timeslice;
+    cfg.stats = StatsLevel::kFast;  // the sweep configuration of the paper
+
+    const auto session_pass = [&](std::vector<SimResult>* results) {
+      for (const Scheme& scheme : schemes)
+        for (const auto& wl : workloads) {
+          SimResult r = session.run(scheme, wl->programs, cfg);
+          if (results != nullptr) results->push_back(std::move(r));
+        }
+    };
+    const auto batch_pass = [&](std::size_t lane_idx,
+                                std::vector<SimResult>* results) {
+      SimBatch& batch = *batches[lane_idx];
+      for (std::size_t s = 0; s < schemes.size(); ++s)
+        for (const auto& wl : workloads) {
+          BatchRunSpec spec;
+          spec.scheme = compiled[s];
+          spec.programs = wl->programs;
+          spec.config = cfg;
+          batch.enqueue(std::move(spec));
+        }
+      std::vector<SimResult> out = batch.run_all();
+      if (results != nullptr) *results = std::move(out);
+    };
+
+    // Warm-up pass of every path, doubling as the bit-identity check:
+    // each lane count's grid must equal the session baseline's on every
+    // counter. A hard guarantee, not a benchmark nicety.
+    std::vector<SimResult> baseline;
+    baseline.reserve(grid_points);
+    session_pass(&baseline);
+    for (std::size_t l = 0; l < lane_counts.size(); ++l) {
+      std::vector<SimResult> batched;
+      batch_pass(l, &batched);
+      for (std::size_t i = 0; i < grid_points; ++i) {
+        const std::string mismatch =
+            compare_sim_results(baseline[i], batched[i],
+                                /*compare_merge_stats=*/true);
+        if (!mismatch.empty()) {
+          std::cerr << "bench_batch_engine: budget " << budget
+                    << " lanes " << lane_counts[l] << " grid point " << i
+                    << " diverged: " << mismatch << '\n';
+          return 1;
+        }
+      }
+    }
+
+    // Timed passes, alternating, best-of-reps per path.
+    double session_s = 0.0;
+    std::vector<double> batch_s(lane_counts.size(), 0.0);
+    for (std::uint64_t r = 0; r < reps; ++r) {
+      auto start = Clock::now();
+      session_pass(nullptr);
+      const double s = seconds_since(start);
+      if (r == 0 || s < session_s) session_s = s;
+      for (std::size_t l = 0; l < lane_counts.size(); ++l) {
+        start = Clock::now();
+        batch_pass(l, nullptr);
+        const double b = seconds_since(start);
+        if (r == 0 || b < batch_s[l]) batch_s[l] = b;
+      }
+    }
+
+    grid.add_row({static_cast<std::int64_t>(budget),
+                  std::string("session reuse"), session_s,
+                  static_cast<double>(grid_points) / session_s, 1.0});
+    for (std::size_t l = 0; l < lane_counts.size(); ++l) {
+      const double speedup = session_s / batch_s[l];
+      grid.add_row({static_cast<std::int64_t>(budget),
+                    "batch lanes=" + std::to_string(lane_counts[l]),
+                    batch_s[l],
+                    static_cast<double>(grid_points) / batch_s[l],
+                    speedup});
+      if (budget == small_budget && speedup > headline_speedup)
+        headline_speedup = speedup;
+    }
+    grid.add_separator();
+  }
+
+  BenchReport report;
+  report.id = "bench-batch-engine";
+  report.description =
+      "Lockstep batch-engine throughput vs the session-reuse baseline "
+      "over a lane-count x run-budget sweep; bit-identity checked on "
+      "every grid point.";
+  report.params.set("budget", small_budget);
+  report.params.set("timeslice", timeslice);
+  report.params.set("reps", reps);
+
+  ResultSection grid_section;
+  grid_section.title =
+      "Batch engine: many-small-runs grid (16 schemes x 9 workloads, "
+      "best of " +
+      std::to_string(reps) + ")";
+  grid_section.data = std::move(grid);
+  report.sections.push_back(std::move(grid_section));
+
+  ResultSection headline;
+  headline.title = "Headline";
+  headline.data = Dataset({ColumnSpec::str("Metric"),
+                           ColumnSpec::real("Value", 2, "x")});
+  headline.data.add_row(
+      {std::string("small-run speedup vs session reuse"),
+       headline_speedup});
+  headline.note =
+      "\nEvery lane count bit-identical to the session baseline on every "
+      "grid point.\n";
+  report.sections.push_back(std::move(headline));
+
+  return emit_bench_report(report, args.get_string("format", "table"),
+                           args.get_string("out", ""));
+}

@@ -15,19 +15,23 @@
 // session eliminates. Results must be bit-identical (the process exits
 // non-zero otherwise); the headline number is the many-small-runs
 // throughput ratio. Deliberately not a registry experiment: its output is
-// wall-clock, and `cvmt run all` stays deterministic without it.
+// wall-clock, and `cvmt run all` stays deterministic without it. The
+// checked-in perf trajectory still records it — --format=json emits the
+// registry-style envelope (see exp/bench_artifact.hpp), and CI
+// regenerates BENCH_session_reuse.json and diffs its structure.
 //
 //   ./bench_session_reuse [--budget=N] [--timeslice=N] [--reps=N]
+//                         [--format=table|json] [--out=FILE]
 #include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "exp/bench_artifact.hpp"
 #include "sim/session.hpp"
 #include "support/args.hpp"
 #include "support/string_util.hpp"
-#include "support/table.hpp"
 #include "testgen/oracle.hpp"
 
 namespace {
@@ -53,6 +57,13 @@ int main(int argc, char** argv) {
   args.add_u64("timeslice", "N", "OS timeslice in cycles.",
                "CVMT_TIMESLICE");
   args.add_u64("reps", "N", "Grid repetitions per timed pass.");
+  args.add_string("format", "fmt",
+                  "Output format: aligned table or the registry-style "
+                  "JSON envelope.",
+                  {}, {"table", "json"});
+  args.add_string("out", "file",
+                  "Write the report to this file instead of stdout "
+                  "(atomic replace; diagnostics stay on stderr).");
   switch (args.parse(argc, argv)) {
     case ArgParser::Outcome::kHelp: return 0;
     case ArgParser::Outcome::kError: return 2;
@@ -80,11 +91,10 @@ int main(int argc, char** argv) {
   const std::size_t grid_points = schemes.size() * workloads.size();
 
   SimSession session(artifacts);
-  print_banner(std::cout,
-               "Session reuse: many-small-runs grid (16 schemes x 9 "
-               "workloads, best of " +
-                   std::to_string(reps) + ")");
-  TableWriter t({"Budget", "Path", "Wall s", "Runs/s", "Speedup"});
+  Dataset grid({ColumnSpec::integer("Budget"), ColumnSpec::str("Path"),
+                ColumnSpec::real("Wall s", 3),
+                ColumnSpec::real("Runs/s", 0),
+                ColumnSpec::real("Speedup", 2, "x")});
   double small_budget_speedup = 0.0;
 
   for (const std::uint64_t budget : {small_budget, small_budget * 10}) {
@@ -145,24 +155,46 @@ int main(int argc, char** argv) {
     }
 
     if (budget == small_budget) small_budget_speedup = fresh_s / reused_s;
-    t.add_row({std::to_string(budget), "per-run construction",
-               format_fixed(fresh_s, 3),
-               format_fixed(static_cast<double>(grid_points) / fresh_s, 0),
-               "1.00x"});
-    t.add_row({std::to_string(budget), "session reuse",
-               format_fixed(reused_s, 3),
-               format_fixed(static_cast<double>(grid_points) / reused_s,
-                            0),
-               format_fixed(fresh_s / reused_s, 2) + "x"});
+    grid.add_row({static_cast<std::int64_t>(budget),
+                  std::string("per-run construction"), fresh_s,
+                  static_cast<double>(grid_points) / fresh_s, 1.0});
+    grid.add_row({static_cast<std::int64_t>(budget),
+                  std::string("session reuse"), reused_s,
+                  static_cast<double>(grid_points) / reused_s,
+                  fresh_s / reused_s});
   }
 
-  t.print(std::cout);
-  std::cout << "\nAll " << 2 * grid_points
-            << " grid points bit-identical across the two paths.\n"
-            << "Session kept " << session.num_instances()
-            << " instances (one per scheme); artifact cache holds "
-            << artifacts.size() << " artifacts.\n"
-            << "Small-run speedup: "
-            << format_fixed(small_budget_speedup, 2) << "x\n";
-  return 0;
+  BenchReport report;
+  report.id = "bench-session-reuse";
+  report.description =
+      "Many-small-runs throughput of session reuse (compile once, run "
+      "many) vs per-run construction; bit-identity checked on every grid "
+      "point.";
+  report.params.set("budget", small_budget);
+  report.params.set("timeslice", timeslice);
+  report.params.set("reps", reps);
+
+  ResultSection grid_section;
+  grid_section.title =
+      "Session reuse: many-small-runs grid (16 schemes x 9 workloads, "
+      "best of " +
+      std::to_string(reps) + ")";
+  grid_section.data = std::move(grid);
+  report.sections.push_back(std::move(grid_section));
+
+  ResultSection headline;
+  headline.title = "Headline";
+  headline.data = Dataset({ColumnSpec::str("Metric"),
+                           ColumnSpec::real("Value", 2, "x")});
+  headline.data.add_row(
+      {std::string("small-run speedup"), small_budget_speedup});
+  headline.note = "\nAll " + std::to_string(2 * grid_points) +
+                  " grid points bit-identical across the two paths.\n" +
+                  "Session kept " + std::to_string(session.num_instances()) +
+                  " instances (one per scheme); artifact cache holds " +
+                  std::to_string(artifacts.size()) + " artifacts.\n";
+  report.sections.push_back(std::move(headline));
+
+  return emit_bench_report(report, args.get_string("format", "table"),
+                           args.get_string("out", ""));
 }

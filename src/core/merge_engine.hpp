@@ -38,8 +38,11 @@ enum class PriorityPolicy : std::uint8_t {
 /// Which evaluator answers select(). Decisions are bit-identical; only
 /// speed differs. kTreeReference exists for validation and benchmarking.
 enum class EvalMode : std::uint8_t {
-  kPlan,           ///< flattened MergePlan (default, hot path)
-  kTreeReference,  ///< recursive Scheme::Node walk (reference)
+  kPlan,             ///< flattened MergePlan (default, hot path)
+  kPlanSpecialized,  ///< MergePlan shape-specialized fast paths (uniform
+                     ///< chains unroll; other shapes fall back to kPlan's
+                     ///< evaluator — see MergePlan::has_fixed_path())
+  kTreeReference,    ///< recursive Scheme::Node walk (reference)
 };
 
 /// Outcome of one merge cycle.
@@ -170,13 +173,17 @@ class MergeEngine {
 
 inline MergeDecision MergeEngine::select(
     std::span<const Footprint* const> candidates) {
-  if (eval_mode_ != EvalMode::kPlan) return select_tree(candidates);
+  if (eval_mode_ == EvalMode::kTreeReference) return select_tree(candidates);
   CVMT_CHECK_MSG(
       candidates.size() == static_cast<std::size_t>(scheme_.num_threads()),
       "candidate count must match scheme thread count");
-  const MergePlan::Eval r = plan_->select(
-      candidates, rotation_, scratch_.data(),
-      stats_level_ == StatsLevel::kFull ? node_stats_.data() : nullptr);
+  MergeNodeStats* stats =
+      stats_level_ == StatsLevel::kFull ? node_stats_.data() : nullptr;
+  const MergePlan::Eval r =
+      eval_mode_ == EvalMode::kPlanSpecialized
+          ? plan_->select_specialized(candidates, rotation_, scratch_.data(),
+                                      stats)
+          : plan_->select(candidates, rotation_, scratch_.data(), stats);
   MergeDecision d;
   d.issued_mask = r.issued_mask;
   d.packet = r.packet;
@@ -188,7 +195,7 @@ inline MergeDecision MergeEngine::select(
 inline std::uint32_t MergeEngine::select_mask_gathered(
     std::span<const Footprint* const> candidates, int num_offers,
     int only_offer) {
-  if (eval_mode_ != EvalMode::kPlan)
+  if (eval_mode_ == EvalMode::kTreeReference)
     return select_tree(candidates).issued_mask;
   CVMT_CHECK_MSG(
       candidates.size() == static_cast<std::size_t>(scheme_.num_threads()),
@@ -199,11 +206,13 @@ inline std::uint32_t MergeEngine::select_mask_gathered(
     // its block unconditionally and no merge check fires anywhere.
     mask = 1u << static_cast<unsigned>(only_offer);
   } else if (num_offers > 1) {
-    mask = plan_
-               ->select_multi(candidates, rotation_, scratch_.data(),
-                              stats_level_ == StatsLevel::kFull
-                                  ? node_stats_.data()
-                                  : nullptr)
+    MergeNodeStats* stats =
+        stats_level_ == StatsLevel::kFull ? node_stats_.data() : nullptr;
+    mask = (eval_mode_ == EvalMode::kPlanSpecialized
+                ? plan_->select_multi_specialized(candidates, rotation_,
+                                                  scratch_.data(), stats)
+                : plan_->select_multi(candidates, rotation_,
+                                      scratch_.data(), stats))
                .issued_mask;
   }
   finish_cycle(std::popcount(mask), candidates);

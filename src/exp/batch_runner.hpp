@@ -40,6 +40,11 @@ struct BatchOptions {
   /// CVMT_WORKERS environment knob is applied by
   /// ExperimentConfig::from_env, not here.
   unsigned workers = 0;
+  /// Lockstep lanes per worker (the CVMT_BATCH_LANES knob, applied by
+  /// ExperimentParams::resolve). 1 = the classic per-job session path;
+  /// >1 routes each worker's contiguous job range through a SimBatch.
+  /// Results are bit-identical for any lane count.
+  unsigned lanes = 1;
 };
 
 /// The worker count `opts` resolves to for a batch of `num_jobs` jobs

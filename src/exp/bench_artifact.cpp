@@ -1,0 +1,89 @@
+#include "exp/bench_artifact.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "support/table.hpp"
+
+namespace cvmt {
+namespace {
+
+void render_table(std::ostream& os, const BenchReport& report) {
+  for (const ResultSection& s : report.sections) {
+    if (!s.title.empty()) print_banner(os, s.title);
+    os << s.preamble;
+    if (!s.text_only && s.data.num_cols() > 0) s.data.to_table().print(os);
+    os << s.note;
+  }
+}
+
+/// Temp-file + atomic-rename commit, mirroring the driver's --out
+/// contract: a pre-existing report at `path` survives any failure.
+bool commit_out(const std::string& path, const std::string& bytes,
+                const std::string& who) {
+  const std::string tmp = path + ".tmp";
+  std::error_code ec;
+  {
+    std::ofstream file(tmp,
+                       std::ios::out | std::ios::trunc | std::ios::binary);
+    file << bytes;
+    file.flush();
+    if (!file.good()) {
+      std::filesystem::remove(tmp, ec);
+      std::cerr << who << ": error writing --out file: " << path << '\n';
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (!ec) return true;
+  std::filesystem::remove(tmp, ec);
+  std::cerr << who << ": error writing --out file: " << path << '\n';
+  return false;
+}
+
+}  // namespace
+
+JsonValue bench_report_to_json(const BenchReport& report) {
+  JsonValue out = JsonValue::object();
+  out.set("id", report.id);
+  out.set("artifact", report.artifact);
+  out.set("description", report.description);
+  out.set("ok", report.ok);
+  out.set("params", report.params);
+  JsonValue sections = JsonValue::array();
+  for (const ResultSection& s : report.sections) {
+    if (s.data.num_cols() == 0) continue;
+    JsonValue section = JsonValue::object();
+    if (!s.title.empty()) section.set("title", s.title);
+    const JsonValue data = s.data.to_json();
+    section.set("columns", data.get("columns"));
+    section.set("rows", data.get("rows"));
+    sections.push_back(std::move(section));
+  }
+  out.set("sections", std::move(sections));
+  return out;
+}
+
+int emit_bench_report(const BenchReport& report, const std::string& format,
+                      const std::string& out_path) {
+  std::ostringstream buffer;
+  if (format == "json") {
+    bench_report_to_json(report).write(buffer);
+    buffer << '\n';
+  } else if (format == "table" || format.empty()) {
+    render_table(buffer, report);
+  } else {
+    std::cerr << report.id << ": unknown --format: " << format << '\n';
+    return 2;
+  }
+  if (out_path.empty()) {
+    std::cout << buffer.str();
+  } else if (!commit_out(out_path, buffer.str(), report.id)) {
+    return 2;
+  }
+  return report.ok ? 0 : 1;
+}
+
+}  // namespace cvmt

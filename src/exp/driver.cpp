@@ -93,9 +93,10 @@ JsonValue params_to_json(const Experiment& experiment,
       machine.set("heterogeneous", true);
     out.set("machine", std::move(machine));
   }
-  // ParamKind::kWorkers is intentionally absent: the worker count is an
-  // execution detail and results are bit-identical for any value, so the
-  // machine-readable output must not depend on it.
+  // ParamKind::kWorkers and ParamKind::kLanes are intentionally absent:
+  // worker and lane counts are execution details and results are
+  // bit-identical for any value, so the machine-readable output must not
+  // depend on them.
   return out;
 }
 
@@ -154,6 +155,7 @@ ParamKind param_kind_of_flag(std::string_view flag) {
   if (flag == "fast" || flag == "budget") return ParamKind::kBudget;
   if (flag == "timeslice") return ParamKind::kTimeslice;
   if (flag == "workers") return ParamKind::kWorkers;
+  if (flag == "lanes") return ParamKind::kLanes;
   if (flag == "stats") return ParamKind::kStats;
   if (flag == "schemes") return ParamKind::kSchemes;
   if (flag == "workloads") return ParamKind::kWorkloads;

@@ -18,6 +18,7 @@ const char* to_string(ParamKind k) {
     case ParamKind::kBudget: return "budget";
     case ParamKind::kTimeslice: return "timeslice";
     case ParamKind::kWorkers: return "workers";
+    case ParamKind::kLanes: return "lanes";
     case ParamKind::kStats: return "stats";
     case ParamKind::kSchemes: return "schemes";
     case ParamKind::kWorkloads: return "workloads";
@@ -37,6 +38,11 @@ void ExperimentParams::add_standard_flags(ArgParser& parser) {
                  "Batch-runner worker threads (0 = all hardware cores); "
                  "results are bit-identical for any count.",
                  "CVMT_WORKERS");
+  parser.add_u64("lanes", "n",
+                 "Lockstep batch-simulation lanes per worker (power of "
+                 "two; 1 = classic per-job path); results are "
+                 "bit-identical for any count.",
+                 "CVMT_BATCH_LANES");
   parser.add_string("stats", "level",
                     "Merge-statistics accounting for the sweeps.",
                     "CVMT_STATS", {"full", "fast"});
@@ -92,6 +98,18 @@ ExperimentParams ExperimentParams::resolve(const ArgParser& parser) {
   constexpr std::uint64_t kMaxWorkers = std::numeric_limits<unsigned>::max();
   p.cfg.batch.workers = static_cast<unsigned>(
       std::min(parser.get_u64("workers", 0), kMaxWorkers));
+
+  // Lanes fail eagerly — a bad CVMT_BATCH_LANES must not surface hours
+  // into a sweep. Powers of two only: lane counts are compared across
+  // the {1,2,4,8} identity matrix and benches, and a stray value like 0
+  // or 3 is always a typo.
+  const std::uint64_t lanes = parser.get_u64("lanes", 1);
+  CVMT_CHECK_MSG(lanes >= 1 && lanes <= 4096 &&
+                     (lanes & (lanes - 1)) == 0,
+                 "--lanes/CVMT_BATCH_LANES must be a power of two in "
+                 "[1, 4096], got " +
+                     std::to_string(lanes));
+  p.cfg.batch.lanes = static_cast<unsigned>(lanes);
 
   // Stats: the experiment layer's sweeps are pure-IPC, so the resolved
   // default is kFast (the library SimConfig default stays kFull). A bad

@@ -34,6 +34,8 @@ enum class ParamKind : std::uint8_t {
   kTimeslice,  ///< --timeslice over CVMT_TIMESLICE
   kWorkers,    ///< --workers over CVMT_WORKERS (execution detail; never
                ///< part of machine-readable output)
+  kLanes,      ///< --lanes over CVMT_BATCH_LANES (execution detail like
+               ///< kWorkers: lockstep batch lanes, bit-identical results)
   kStats,      ///< --stats over CVMT_STATS (full|fast)
   kSchemes,    ///< --schemes=A,B,... filter
   kWorkloads,  ///< --workloads=A,B,... filter

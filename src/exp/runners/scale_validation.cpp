@@ -60,7 +60,7 @@ const RegisterExperiment reg{{
     .artifact = "extension",
     .description = "Stability of the headline relations across run "
                    "lengths and timeslices.",
-    .schema = {ParamKind::kWorkers},
+    .schema = {ParamKind::kWorkers, ParamKind::kLanes},
     .sort_key = 250,
     .run = run,
 }};

@@ -34,26 +34,34 @@ void validate_shape(const ClusterShape& s, const std::string& where,
 }  // namespace
 
 MachineConfig MachineConfig::vex4x4() {
-  MachineConfig c;
-  c.num_clusters = 4;
-  c.issue_per_cluster = 4;
-  c.mul_slot_mask = 0b0011;
-  c.mem_slot_mask = 0b0100;
-  c.branch_slot_mask = 0b1000;
-  c.validate();
+  // Built (and validated) once; the factories sit on hot default paths
+  // (every default-constructed SimConfig copies one).
+  static const MachineConfig c = [] {
+    MachineConfig m;
+    m.num_clusters = 4;
+    m.issue_per_cluster = 4;
+    m.mul_slot_mask = 0b0011;
+    m.mem_slot_mask = 0b0100;
+    m.branch_slot_mask = 0b1000;
+    m.validate();
+    return m;
+  }();
   return c;
 }
 
 MachineConfig MachineConfig::vex4x2() {
-  MachineConfig c;
-  c.num_clusters = 4;
-  c.issue_per_cluster = 2;
-  // With two slots per cluster the fixed units share them: slot 0 carries
-  // the multiplier, slot 1 the LSU and branch unit.
-  c.mul_slot_mask = 0b01;
-  c.mem_slot_mask = 0b10;
-  c.branch_slot_mask = 0b10;
-  c.validate();
+  static const MachineConfig c = [] {
+    MachineConfig m;
+    m.num_clusters = 4;
+    m.issue_per_cluster = 2;
+    // With two slots per cluster the fixed units share them: slot 0
+    // carries the multiplier, slot 1 the LSU and branch unit.
+    m.mul_slot_mask = 0b01;
+    m.mem_slot_mask = 0b10;
+    m.branch_slot_mask = 0b10;
+    m.validate();
+    return m;
+  }();
   return c;
 }
 

@@ -36,8 +36,19 @@ std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
 bool SetAssocCache::access(std::uint64_t addr) {
   const std::uint64_t set = set_index(addr);
   const std::uint64_t tag = tag_of(addr);
-  Line* base = &lines_[set * config_.ways];
   ++clock_;
+
+  // Single-probe fast path: consecutive accesses mostly re-touch the last
+  // line (sequential fetches stream through a 64B line). See mru_line_'s
+  // comment for why this is exactly the scan's hit path.
+  if (mru_line_ != nullptr && mru_set_ == set && mru_line_->gen == gen_ &&
+      mru_line_->tag == tag) {
+    mru_line_->last_used = clock_;
+    stats_.record(true);
+    return true;
+  }
+
+  Line* base = &lines_[set * config_.ways];
 
   // Hit path first (the common case): a tight tag scan with no
   // replacement bookkeeping. Only a miss pays for the victim search.
@@ -45,6 +56,8 @@ bool SetAssocCache::access(std::uint64_t addr) {
     Line& line = base[w];
     if (line.gen == gen_ && line.tag == tag) {
       line.last_used = clock_;
+      mru_set_ = set;
+      mru_line_ = &line;
       stats_.record(true);
       return true;
     }
@@ -61,6 +74,8 @@ bool SetAssocCache::access(std::uint64_t addr) {
   victim->gen = gen_;
   victim->tag = tag;
   victim->last_used = clock_;
+  mru_set_ = set;
+  mru_line_ = victim;
   stats_.record(false);
   return false;
 }

@@ -84,6 +84,15 @@ class SetAssocCache {
   std::vector<Line> lines_;  // num_sets_ x ways, row-major
   std::uint64_t gen_ = 1;
   std::uint64_t clock_ = 0;
+  /// Most recently hit/filled line, for the single-probe fast path in
+  /// access(). Valid tags are unique within a set (fills happen only on
+  /// misses), so when the remembered line still matches (set, tag, gen)
+  /// it *is* the line the way scan would find — the fast path repeats the
+  /// scan's hit bookkeeping exactly and is bit-identical. lines_ never
+  /// reallocates after construction, so the pointer stays safe; a stale
+  /// generation (flush/reset) simply fails the probe.
+  std::uint64_t mru_set_ = 0;
+  Line* mru_line_ = nullptr;
   RatioCounter stats_;
 };
 

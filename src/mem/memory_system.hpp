@@ -72,6 +72,21 @@ class MemorySystem {
   /// layer reuses it across runs.
   void reset();
 
+  /// Rebinds the system to a run with `num_threads` hardware threads
+  /// without reconstruction. With shared caches the built arrays do not
+  /// depend on the thread count, so any count fits; with private caches
+  /// the per-thread arrays are sized at construction and only the same
+  /// count fits. Returns false when reconstruction is required (the
+  /// caller re-emplaces then). Does not reset; pair with reset() for a
+  /// fresh run.
+  [[nodiscard]] bool rebind(int num_threads) {
+    if (config_.sharing == CacheSharing::kPrivate &&
+        num_threads != num_threads_)
+      return false;
+    num_threads_ = num_threads;
+    return true;
+  }
+
   [[nodiscard]] const MemorySystemConfig& config() const { return config_; }
 
   /// Aggregate hit-rate over all ICache (resp. DCache) instances.

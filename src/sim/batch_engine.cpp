@@ -1,0 +1,313 @@
+#include "sim/batch_engine.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+
+SimBatch::SimBatch(int lanes)
+    : lanes_(lanes),
+      lane_state_(static_cast<std::size_t>(std::max(lanes, 1))),
+      cycle_(lane_state_.size(), 0),
+      timeslice_(lane_state_.size(), 0),
+      max_cycles_(lane_state_.size(), 0),
+      switches_(lane_state_.size(), 0),
+      timeslices_(lane_state_.size(), 0),
+      active_(lane_state_.size(), 0) {
+  CVMT_CHECK_MSG(lanes >= 1, "SimBatch needs at least one lane");
+}
+
+SimBatch::~SimBatch() {
+  // Arena storage never runs destructors; the contexts are ours to end.
+  for (Lane& lane : lane_state_)
+    for (ThreadContext* t : lane.pool) t->~ThreadContext();
+}
+
+void SimBatch::enqueue(BatchRunSpec spec) {
+  CVMT_CHECK_MSG(spec.scheme != nullptr,
+                 "batch job needs a compiled scheme");
+  CVMT_CHECK_MSG(!spec.programs.empty(), "empty workload");
+  CVMT_CHECK_MSG(spec.config.machine == spec.scheme->machine(),
+                 "SimConfig.machine must equal the compiled scheme's "
+                 "machine");
+  CVMT_CHECK_MSG(spec.config.timeslice_cycles >= 1,
+                 "timeslice must be positive");
+  jobs_.push_back(std::move(spec));
+}
+
+void SimBatch::prepare(std::size_t lane, std::size_t job) {
+  Lane& st = lane_state_[lane];
+  const BatchRunSpec& spec = jobs_[job];
+  const SimConfig& cfg = spec.config;
+  const CompiledScheme& scheme = *spec.scheme;
+  const int nthreads = scheme.scheme().num_threads();
+
+  st.job = job;
+
+  // Memory system: re-emplaced only on geometry change (or a thread-count
+  // change the built arrays can't absorb — see rebind). Re-emplacement
+  // keeps the optional's payload address, so a kept core's MemorySystem&
+  // stays valid.
+  if (!st.mem || !(st.mem_cfg == cfg.mem) || !st.mem->rebind(nthreads)) {
+    st.mem.emplace(cfg.mem, nthreads);
+    st.mem_cfg = cfg.mem;
+  } else {
+    st.mem->reset();
+  }
+
+  // The compile-time-chosen evaluator: plans with a bound fixed path run
+  // the shape-specialized interpreter (bit-identical decisions). Explicit
+  // non-default modes (tree reference validation) are honoured.
+  const CoreOptions options{cfg.stats,
+                            cfg.eval_mode == EvalMode::kPlan
+                                ? scheme.preferred_eval_mode()
+                                : cfg.eval_mode,
+                            cfg.stall_fast_forward};
+  if (!st.core || st.scheme_key != scheme.key()) {
+    st.core.emplace(scheme.machine(), scheme.scheme(), scheme.plan(),
+                    cfg.priority, *st.mem, cfg.miss_policy, options);
+    st.scheme_key = scheme.key();
+  } else {
+    st.core->reset(cfg.priority, cfg.miss_policy, options);
+  }
+
+  // Thread contexts live in the arena and are rebound in place; contexts
+  // beyond this job's pool stay constructed for later, wider jobs. Each
+  // context replays its stream from the batch-shared recording when one
+  // is available (small budgets), bit-identically to driving its own
+  // generator. The recordings are resolved once per workload (grids
+  // re-bind the same programs vector job after job).
+  const auto wkey =
+      std::make_tuple(static_cast<const void*>(spec.programs.data()),
+                      cfg.stream_seed_base, cfg.instruction_budget);
+  std::vector<const TraceReplay*>& replays = workload_replays_[wkey];
+  if (replays.size() != spec.programs.size()) {
+    replays.clear();
+    for (std::size_t i = 0; i < spec.programs.size(); ++i) {
+      const auto& prog = spec.programs[i];
+      CVMT_CHECK(prog != nullptr);
+      const std::uint64_t stream_seed =
+          cfg.stream_seed_base + 0x1000ULL * i;
+      replays.push_back(
+          replay_for(prog, stream_seed, cfg.instruction_budget));
+    }
+  }
+  for (std::size_t i = 0; i < spec.programs.size(); ++i) {
+    const auto& prog = spec.programs[i];
+    CVMT_CHECK_MSG(prog->machine() == cfg.machine,
+                   "program compiled for a different machine");
+    const std::uint64_t stream_seed =
+        cfg.stream_seed_base + 0x1000ULL * i;
+    if (i < st.pool.size()) {
+      st.pool[i]->reset(prog->profile().name, prog, stream_seed,
+                        cfg.instruction_budget);
+    } else {
+      st.pool.push_back(arena_.create<ThreadContext>(
+          prog->profile().name, prog, stream_seed,
+          cfg.instruction_budget));
+    }
+    st.pool[i]->set_replay(replays[i]);
+  }
+  st.pool_size = spec.programs.size();
+
+  if (!st.policy || st.policy_kind != cfg.switch_policy) {
+    st.policy = make_switch_policy(cfg.switch_policy, cfg.os_seed);
+    st.policy_kind = cfg.switch_policy;
+  } else {
+    st.policy->reset(cfg.os_seed);
+  }
+
+  // Oblivious policies re-draw the same pick sequence for every job that
+  // shares (kind, seed, pool size, slots); record it once and replay.
+  // Valid because step_window stops a run at the first thread completion,
+  // so no reschedule ever observes a done thread — the one case where an
+  // oblivious policy's decision could diverge from the recording.
+  st.sreplay = nullptr;
+  if (st.policy->oblivious() && st.pool_size <= 255) {
+    const auto skey =
+        std::make_tuple(cfg.switch_policy, cfg.os_seed,
+                        static_cast<int>(st.pool_size), st.core->num_slots());
+    std::unique_ptr<SwitchReplay>& slot = switch_replays_[skey];
+    if (!slot)
+      slot = std::make_unique<SwitchReplay>(
+          cfg.switch_policy, cfg.os_seed, static_cast<int>(st.pool_size),
+          st.core->num_slots());
+    st.sreplay = slot.get();
+  }
+
+  cycle_[lane] = 0;
+  timeslice_[lane] = cfg.timeslice_cycles;
+  max_cycles_[lane] = cfg.max_cycles;
+  switches_[lane] = 0;
+  timeslices_[lane] = 0;
+  active_[lane] = 1;
+}
+
+void SimBatch::reschedule(std::size_t lane) {
+  Lane& st = lane_state_[lane];
+  MultithreadedCore& core = *st.core;
+  const int slots = core.num_slots();
+  if (st.sreplay != nullptr) {
+    // Replay the recorded row for this run's window count: pool indices
+    // for slots 0..take, nullptr beyond — exactly what the live policy's
+    // pick() would assign.
+    const std::uint64_t w = timeslices_[lane];
+    st.sreplay->ensure(w + 1);
+    const std::uint8_t* row = st.sreplay->window(w);
+    const std::size_t take = st.sreplay->take();
+    for (int s = 0; s < slots; ++s) {
+      ThreadContext* next = static_cast<std::size_t>(s) < take
+                                ? st.pool[row[static_cast<std::size_t>(s)]]
+                                : nullptr;
+      if (core.thread(s) != next) ++switches_[lane];
+      core.set_thread(s, next);
+    }
+    ++timeslices_[lane];
+    return;
+  }
+  st.next.assign(static_cast<std::size_t>(slots), nullptr);
+  st.policy->pick(
+      std::span<ThreadContext* const>(st.pool.data(), st.pool_size), core,
+      cycle_[lane], st.next);
+  for (int s = 0; s < slots; ++s) {
+    ThreadContext* next = st.next[static_cast<std::size_t>(s)];
+    if (core.thread(s) != next) ++switches_[lane];
+    core.set_thread(s, next);
+  }
+  ++timeslices_[lane];
+}
+
+bool SimBatch::step_window(std::size_t lane) {
+  // One iteration of OsScheduler::run's loop: reschedule at the slice
+  // boundary, hand the clamped window to the core (which fast-forwards
+  // all-stalled stretches inside it), stop on first completion.
+  const std::uint64_t cycle = cycle_[lane];
+  const std::uint64_t timeslice = timeslice_[lane];
+  const std::uint64_t max_cycles = max_cycles_[lane];
+  if (cycle >= max_cycles) return false;
+  if (cycle % timeslice == 0) reschedule(lane);
+  const std::uint64_t slice_end =
+      std::min(max_cycles, cycle - cycle % timeslice + timeslice);
+  bool any_done = false;
+  cycle_[lane] =
+      lane_state_[lane].core->run_until(cycle, slice_end, any_done);
+  if (any_done) return false;  // the finishing cycle is already counted
+  return cycle_[lane] < max_cycles;
+}
+
+SimResult SimBatch::harvest(std::size_t lane) {
+  Lane& st = lane_state_[lane];
+  const BatchRunSpec& spec = jobs_[st.job];
+  const MultithreadedCore& core = *st.core;
+
+  SimResult r;
+  r.scheme = spec.scheme->scheme().name();
+  r.cycles = cycle_[lane];
+  r.total_ops = core.stats().total_ops;
+  r.total_instructions = core.stats().total_instructions;
+  r.idle_cycles = core.stats().idle_cycles;
+  r.ipc = r.cycles ? static_cast<double>(r.total_ops) /
+                         static_cast<double>(r.cycles)
+                   : 0.0;
+  for (std::size_t i = 0; i < st.pool_size; ++i) {
+    const ThreadContext& t = *st.pool[i];
+    ThreadResult tr;
+    tr.benchmark = t.name();
+    tr.instructions = t.stats().instructions;
+    tr.ops = t.stats().ops;
+    tr.stats = t.stats();
+    r.threads.push_back(std::move(tr));
+  }
+  r.icache = st.mem->icache_stats();
+  r.dcache = st.mem->dcache_stats();
+  r.l2 = st.mem->l2_stats();
+  r.issued_per_cycle = core.engine().issued_histogram();
+  r.merge_nodes = core.engine().node_stats();
+  r.os = OsRunStats{switches_[lane], timeslices_[lane]};
+  return r;
+}
+
+const TraceReplay* SimBatch::replay_for(
+    const std::shared_ptr<const SyntheticProgram>& program,
+    std::uint64_t stream_seed, std::uint64_t budget) {
+  if (budget > kReplayBudgetCap) return nullptr;
+  const auto key = std::make_pair(program.get(), stream_seed);
+  auto it = replays_.find(key);
+  if (it == replays_.end()) {
+    if (replay_bytes_ >= kReplayByteCap) return nullptr;
+    it = replays_
+             .emplace(key, ReplaySlot{program, std::make_unique<TraceReplay>(
+                                                   program, stream_seed)})
+             .first;
+  }
+  TraceReplay& replay = *it->second.replay;
+  replay_bytes_ -= replay.bytes();
+  replay.ensure(budget);
+  replay_bytes_ += replay.bytes();
+  return &replay;
+}
+
+std::vector<SimResult> SimBatch::run_all() {
+  std::vector<SimResult> results(jobs_.size());
+  const std::size_t num_lanes = lane_state_.size();
+
+  // No context is mid-run between run_all calls, so an over-budget
+  // recording cache can be dropped safely here. The per-workload pointer
+  // memo always restarts: programs from earlier queues may be gone, and
+  // a new vector at a recycled address must not re-match.
+  workload_replays_.clear();
+  if (replay_bytes_ > kReplayByteCap / 2) {
+    replays_.clear();
+    replay_bytes_ = 0;
+  }
+  // Pending jobs, consumed from `head`. A freed lane prefers a job whose
+  // scheme matches its built core (bounded look-ahead) so scheme-major
+  // grids reset cores in place instead of re-emplacing them; results are
+  // job-indexed, so the pick order never shows in the output.
+  std::vector<std::size_t> pending(jobs_.size());
+  for (std::size_t j = 0; j < pending.size(); ++j) pending[j] = j;
+  std::size_t head = 0;
+  const auto take_next = [&](std::size_t lane) {
+    const Lane& st = lane_state_[lane];
+    if (st.core) {
+      const std::size_t end =
+          std::min(pending.size(), head + kAffinityWindow);
+      for (std::size_t p = head; p < end; ++p) {
+        if (jobs_[pending[p]].scheme->key() == st.scheme_key) {
+          std::swap(pending[p], pending[head]);
+          break;
+        }
+      }
+    }
+    return pending[head++];
+  };
+
+  std::size_t live = 0;
+  for (std::size_t l = 0; l < num_lanes && head < pending.size(); ++l) {
+    prepare(l, take_next(l));
+    ++live;
+  }
+  // Lockstep: each round advances every active lane one timeslice window;
+  // a lane that finishes harvests its result and immediately swaps in the
+  // next queued job, so the batch stays full until the queue drains.
+  while (live > 0) {
+    for (std::size_t l = 0; l < num_lanes; ++l) {
+      if (!active_[l]) continue;
+      if (step_window(l)) continue;
+      results[lane_state_[l].job] = harvest(l);
+      if (head < pending.size()) {
+        prepare(l, take_next(l));
+      } else {
+        active_[l] = 0;
+        --live;
+      }
+    }
+  }
+  jobs_.clear();
+  return results;
+}
+
+}  // namespace cvmt

@@ -1,0 +1,208 @@
+// Lockstep batch simulation engine: many small runs through one engine.
+//
+// Dense sweeps (fuzz campaigns, shrinking, scheme searches) issue
+// thousands of short simulations; the per-run cost of the session path —
+// canonical-key lookup, OsScheduler construction (shared_ptr pool copy +
+// policy heap allocation), per-thread context churn — is as large as the
+// runs themselves at those budgets. SimBatch amortizes all of it:
+//
+//   * N *lanes*, each a SimInstance-equivalent run state, laid out
+//     structure-of-arrays: per-lane cycle counters, timeslice bounds,
+//     active masks and OS-stat accumulators live in contiguous arrays the
+//     lockstep loop walks linearly; the per-lane heavy state (memory
+//     system, core, contexts) is re-emplaced in place only when the next
+//     job actually changes scheme or memory geometry.
+//   * Per-run small state (thread contexts, pools) is carved from a
+//     per-batch Arena instead of per-run heap allocations, and recycled
+//     with in-place reset()s between jobs.
+//   * The loop steps every active lane one timeslice window per round
+//     (merge arbitration and stall fast-forwarding stay inside
+//     MultithreadedCore::run_until, exactly as in the sequential path),
+//     and a finished lane immediately swaps in the next queued job —
+//     persistent-kernel style, the batch stays full until the grid
+//     drains.
+//   * Cross-run structure: a thread's instruction stream is a pure
+//     function of (program, stream_seed) — the scheme and memory system
+//     only decide *when* instructions issue. The batch records each
+//     distinct stream once (TraceReplay) and every job that shares it
+//     replays from the arrays, eliminating RNG draws, address-cursor
+//     arithmetic and template patching from the hot path. A scheme x
+//     workload grid re-uses each workload's recordings across every
+//     scheme. Cache fetches and data accesses stay live per lane.
+//   * Affinity-aware refill: a finished lane prefers a queued job whose
+//     compiled scheme matches the core already built in the lane (bounded
+//     look-ahead window), so lanes striding a scheme-major grid reset
+//     their core in place instead of re-emplacing it per job. Results are
+//     keyed by job index, so the pick order is unobservable in the
+//     output.
+//
+// The contract is strict bit-identity: every SimResult a batch produces
+// equals, field for field, what SimInstance::run would produce for the
+// same (scheme, programs, config) — the batch only reorders *wall-clock*
+// work across independent runs, never the cycle-level decisions inside
+// one run (batch_engine_test pins this across lane counts, machines and
+// switch policies).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/session.hpp"
+#include "sim/switch_replay.hpp"
+#include "support/arena.hpp"
+#include "trace/trace_replay.hpp"
+
+namespace cvmt {
+
+/// One queued simulation: compiled scheme, materialized programs, knobs.
+/// The machine of `config` must equal the compiled scheme's machine.
+struct BatchRunSpec {
+  std::shared_ptr<const CompiledScheme> scheme;
+  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  SimConfig config;
+};
+
+/// A pool of `lanes` lockstep run states draining a job queue.
+/// Not thread-safe — one batch per worker thread.
+class SimBatch {
+ public:
+  /// `lanes` >= 1. A 1-lane batch runs jobs one at a time, never
+  /// interleaved (the affinity-aware refill may permute which job runs
+  /// next; results always land in enqueue order).
+  explicit SimBatch(int lanes);
+  ~SimBatch();
+
+  SimBatch(const SimBatch&) = delete;
+  SimBatch& operator=(const SimBatch&) = delete;
+
+  /// Queues one run. Invalid specs (empty workload, machine mismatch,
+  /// zero timeslice) are rejected here, before any lane state moves.
+  void enqueue(BatchRunSpec spec);
+
+  /// Runs every queued job to completion and returns the results in
+  /// enqueue order. The queue is left empty; the batch (lanes, arena,
+  /// warmed caches) is reusable for the next grid.
+  [[nodiscard]] std::vector<SimResult> run_all();
+
+  [[nodiscard]] int lanes() const { return lanes_; }
+  [[nodiscard]] std::size_t queued() const { return jobs_.size(); }
+  /// Arena footprint of the per-run state (diagnostics/benchmarks).
+  [[nodiscard]] const Arena& arena() const { return arena_; }
+
+ private:
+  /// Per-lane heavy state. The memory system and core are re-emplaced in
+  /// place only when the incoming job changes memory geometry or scheme;
+  /// std::optional re-emplacement keeps the object address stable, so
+  /// the core's MemorySystem& stays valid across mem re-emplacements.
+  struct Lane {
+    std::size_t job = 0;  ///< index into jobs_ / results slot
+    std::optional<MemorySystem> mem;
+    std::optional<MultithreadedCore> core;
+    /// Arena-constructed contexts, recycled across jobs. The first
+    /// `pool_size` entries are the current job's software threads; any
+    /// further entries stay constructed (idle) for reuse by later jobs.
+    std::vector<ThreadContext*> pool;
+    std::size_t pool_size = 0;  ///< contexts bound to the current job
+    std::unique_ptr<SwitchPolicy> policy;
+    SwitchPolicyKind policy_kind = SwitchPolicyKind::kRandomTimeslice;
+    /// Batch-shared recorded pick sequence for this job's (policy, seed,
+    /// pool size, slots); nullptr when the policy is not oblivious (the
+    /// live policy decides then).
+    SwitchReplay* sreplay = nullptr;
+    std::vector<ThreadContext*> next;  ///< reschedule scratch
+    /// Reuse keys of the heavy state currently constructed in this lane.
+    std::string scheme_key;
+    MemorySystemConfig mem_cfg;
+  };
+
+  /// Binds jobs_[job] onto `lane`: resets or re-emplaces the heavy state,
+  /// rebinds the context pool, zeroes this lane's SoA slots. Equivalent
+  /// to the entry reset of SimInstance::run.
+  void prepare(std::size_t lane, std::size_t job);
+
+  /// Advances one timeslice window (the body of OsScheduler::run's
+  /// while-iteration). Returns false once the run finished — a thread
+  /// completed its budget or the cycle limit was reached.
+  bool step_window(std::size_t lane);
+
+  /// Applies the lane policy's pick at a slice boundary (the
+  /// OsScheduler::reschedule equivalent, accumulating into the SoA OS
+  /// counters).
+  void reschedule(std::size_t lane);
+
+  /// Collects the finished lane's SimResult (field-for-field the
+  /// construction at the end of SimInstance::run).
+  [[nodiscard]] SimResult harvest(std::size_t lane);
+
+  /// The shared recording for (program, stream_seed), extended to cover
+  /// `budget` instructions — or nullptr when the budget is over the
+  /// recording cap or the cache is at its byte budget (the context then
+  /// drives its own generator, bit-identically).
+  const TraceReplay* replay_for(
+      const std::shared_ptr<const SyntheticProgram>& program,
+      std::uint64_t stream_seed, std::uint64_t budget);
+
+  /// Budgets above this run on the live generator: recording a stream
+  /// costs memory linear in its length, and long runs amortize generation
+  /// anyway. Well above the fuzz/shrink regime (budgets <= ~2500).
+  static constexpr std::uint64_t kReplayBudgetCap = 1u << 16;
+  /// Recording-cache byte budget; at capacity, new streams fall back to
+  /// the generator path and the cache is dropped between run_all calls.
+  static constexpr std::size_t kReplayByteCap = 64u << 20;
+  /// How far into the pending queue a freed lane looks for a job whose
+  /// scheme matches its built core.
+  static constexpr std::size_t kAffinityWindow = 64;
+
+  int lanes_;
+  Arena arena_;
+  std::vector<BatchRunSpec> jobs_;
+  std::vector<Lane> lane_state_;
+
+  // --- structure-of-arrays lockstep state, indexed by lane -------------
+  std::vector<std::uint64_t> cycle_;        ///< current cycle of the run
+  std::vector<std::uint64_t> timeslice_;    ///< slice length (cycles)
+  std::vector<std::uint64_t> max_cycles_;   ///< hard stop
+  std::vector<std::uint64_t> switches_;     ///< OS context switches so far
+  std::vector<std::uint64_t> timeslices_;   ///< OS slices started so far
+  std::vector<std::uint8_t> active_;        ///< lane occupied by a live run
+
+  /// Stream recordings shared by every lane and job of this batch, keyed
+  /// by (program identity, stream seed); the shared_ptr pins the program
+  /// the entries point into. Kept across run_all calls while under the
+  /// byte budget — a reused batch keeps its warm recordings.
+  struct ReplaySlot {
+    std::shared_ptr<const SyntheticProgram> program;
+    std::unique_ptr<TraceReplay> replay;
+  };
+  std::map<std::pair<const SyntheticProgram*, std::uint64_t>, ReplaySlot>
+      replays_;
+  std::size_t replay_bytes_ = 0;
+
+  /// Resolved replay pointers per workload: grids re-bind the same
+  /// programs vector job after job, so prepare() does one lookup here
+  /// instead of one replays_ walk per thread. Keyed by the programs
+  /// array's identity + the knobs the resolution depends on; cleared at
+  /// every run_all entry, since only the current queue's jobs pin their
+  /// program vectors (a stale array pointer must never be re-matched).
+  std::map<std::tuple<const void*, std::uint64_t, std::uint64_t>,
+           std::vector<const TraceReplay*>>
+      workload_replays_;
+
+  /// Recorded pick sequences for oblivious switch policies, keyed by
+  /// everything the sequence depends on. A 16-scheme grid has 2-4 distinct
+  /// thread counts, so the whole grid's reschedules cost 2-4 recordings
+  /// instead of one RNG-driven pick per window per job. Kept across
+  /// run_all calls (the key owns no job state); bytes stay tiny — one
+  /// byte per assigned slot per window.
+  std::map<std::tuple<SwitchPolicyKind, std::uint64_t, int, int>,
+           std::unique_ptr<SwitchReplay>>
+      switch_replays_;
+};
+
+}  // namespace cvmt

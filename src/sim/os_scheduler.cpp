@@ -12,12 +12,14 @@ OsScheduler::OsScheduler(std::vector<std::shared_ptr<ThreadContext>> threads,
       policy_(make_switch_policy(policy, seed)) {
   CVMT_CHECK_MSG(!threads_.empty(), "workload needs at least one thread");
   CVMT_CHECK_MSG(timeslice_ >= 1, "timeslice must be positive");
+  pool_.reserve(threads_.size());
+  for (const auto& t : threads_) pool_.push_back(t.get());
 }
 
 void OsScheduler::reschedule(MultithreadedCore& core, std::uint64_t cycle) {
   const int slots = core.num_slots();
   next_.assign(static_cast<std::size_t>(slots), nullptr);
-  policy_->pick(threads_, core, cycle, next_);
+  policy_->pick(pool_, core, cycle, next_);
   for (int s = 0; s < slots; ++s) {
     ThreadContext* next = next_[static_cast<std::size_t>(s)];
     if (core.thread(s) != next) ++stats_.context_switches;

@@ -47,6 +47,7 @@ class OsScheduler {
   void reschedule(MultithreadedCore& core, std::uint64_t cycle);
 
   std::vector<std::shared_ptr<ThreadContext>> threads_;
+  std::vector<ThreadContext*> pool_;  // raw view of threads_, built once
   std::uint64_t timeslice_;
   std::unique_ptr<SwitchPolicy> policy_;
   std::vector<ThreadContext*> next_;  // reschedule scratch

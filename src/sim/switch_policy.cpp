@@ -16,14 +16,14 @@ class RandomTimeslicePolicy final : public SwitchPolicy {
  public:
   explicit RandomTimeslicePolicy(std::uint64_t seed) : rng_(seed) {}
 
-  void pick(const std::vector<std::shared_ptr<ThreadContext>>& pool,
+  void pick(std::span<ThreadContext* const> pool,
             const MultithreadedCore& /*core*/, std::uint64_t /*cycle*/,
             std::vector<ThreadContext*>& next) override {
     // Runnable = not yet at budget. (The run stops at the first
     // completion, so in practice all threads are runnable here.)
     runnable_.clear();
-    for (const auto& t : pool)
-      if (!t->done()) runnable_.push_back(t.get());
+    for (ThreadContext* t : pool)
+      if (!t->done()) runnable_.push_back(t);
 
     const std::size_t take =
         std::min<std::size_t>(next.size(), runnable_.size());
@@ -34,9 +34,32 @@ class RandomTimeslicePolicy final : public SwitchPolicy {
     for (std::size_t s = 0; s < take; ++s) next[s] = runnable_[s];
   }
 
+  void reset(std::uint64_t seed) override { rng_ = Xoshiro256(seed); }
+
+  [[nodiscard]] bool oblivious() const override { return true; }
+
+  void pick_indices(int pool_size, int slots,
+                    std::vector<std::uint8_t>& out) override {
+    // Mirrors pick() with every pooled thread runnable: same collection
+    // order, same prefix shuffle, same RNG draw sequence — so a recorded
+    // index stream replays the exact decisions pick() would have made.
+    const std::size_t n = static_cast<std::size_t>(pool_size);
+    idx_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      idx_[i] = static_cast<std::uint8_t>(i);
+    const std::size_t take =
+        std::min(static_cast<std::size_t>(slots), n);
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t j = i + rng_.next_below(n - i);
+      std::swap(idx_[i], idx_[j]);
+    }
+    out.assign(idx_.begin(), idx_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+
  private:
   Xoshiro256 rng_;
   std::vector<ThreadContext*> runnable_;
+  std::vector<std::uint8_t> idx_;
 };
 
 /// simtrax PRESTALL at timeslice granularity: rotate the resident set
@@ -44,12 +67,12 @@ class RandomTimeslicePolicy final : public SwitchPolicy {
 /// stalls accumulate. Fully deterministic.
 class PrestallPolicy final : public SwitchPolicy {
  public:
-  void pick(const std::vector<std::shared_ptr<ThreadContext>>& pool,
+  void pick(std::span<ThreadContext* const> pool,
             const MultithreadedCore& /*core*/, std::uint64_t /*cycle*/,
             std::vector<ThreadContext*>& next) override {
     runnable_.clear();
-    for (const auto& t : pool)
-      if (!t->done()) runnable_.push_back(t.get());
+    for (ThreadContext* t : pool)
+      if (!t->done()) runnable_.push_back(t);
     if (runnable_.empty()) return;
 
     const std::size_t take =
@@ -57,6 +80,23 @@ class PrestallPolicy final : public SwitchPolicy {
     for (std::size_t s = 0; s < take; ++s)
       next[s] = runnable_[(cursor_ + s) % runnable_.size()];
     cursor_ = (cursor_ + take) % runnable_.size();
+  }
+
+  void reset(std::uint64_t /*seed*/) override { cursor_ = 0; }
+
+  [[nodiscard]] bool oblivious() const override { return true; }
+
+  void pick_indices(int pool_size, int slots,
+                    std::vector<std::uint8_t>& out) override {
+    // pick() with every pooled thread runnable: rotate the cursor over
+    // the full pool.
+    const std::size_t n = static_cast<std::size_t>(pool_size);
+    const std::size_t take =
+        std::min(static_cast<std::size_t>(slots), n);
+    out.resize(take);
+    for (std::size_t s = 0; s < take; ++s)
+      out[s] = static_cast<std::uint8_t>((cursor_ + s) % n);
+    cursor_ = (cursor_ + take) % n;
   }
 
  private:
@@ -71,7 +111,7 @@ class PrestallPolicy final : public SwitchPolicy {
 /// thread could eventually issue.
 class PoststallPolicy final : public SwitchPolicy {
  public:
-  void pick(const std::vector<std::shared_ptr<ThreadContext>>& pool,
+  void pick(std::span<ThreadContext* const> pool,
             const MultithreadedCore& core, std::uint64_t cycle,
             std::vector<ThreadContext*>& next) override {
     const std::size_t n = pool.size();
@@ -79,7 +119,7 @@ class PoststallPolicy final : public SwitchPolicy {
 
     const auto index_of = [&](const ThreadContext* t) -> std::size_t {
       for (std::size_t i = 0; i < n; ++i)
-        if (pool[i].get() == t) return i;
+        if (pool[i] == t) return i;
       CVMT_CHECK_MSG(false, "resident thread not in the scheduler pool");
       __builtin_unreachable();
     };
@@ -121,14 +161,19 @@ class PoststallPolicy final : public SwitchPolicy {
     }
   }
 
+  void reset(std::uint64_t /*seed*/) override {
+    cursor_ = 0;
+    used_.clear();
+  }
+
  private:
   template <typename Pred>
-  ThreadContext* claim_next(
-      const std::vector<std::shared_ptr<ThreadContext>>& pool, Pred&& ok) {
+  ThreadContext* claim_next(std::span<ThreadContext* const> pool,
+                            Pred&& ok) {
     const std::size_t n = pool.size();
     for (std::size_t probe = 0; probe < n; ++probe) {
       const std::size_t i = (cursor_ + probe) % n;
-      ThreadContext* t = pool[i].get();
+      ThreadContext* t = pool[i];
       if (used_[i] || t->done() || !ok(*t)) continue;
       used_[i] = true;
       cursor_ = (i + 1) % n;

@@ -1,0 +1,28 @@
+#include "sim/switch_replay.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+
+SwitchReplay::SwitchReplay(SwitchPolicyKind kind, std::uint64_t seed,
+                           int pool_size, int slots)
+    : policy_(make_switch_policy(kind, seed)),
+      pool_size_(pool_size),
+      slots_(slots),
+      take_(static_cast<std::size_t>(std::min(slots, pool_size))) {
+  CVMT_CHECK_MSG(policy_->oblivious(),
+                 "switch replay needs an oblivious policy");
+}
+
+void SwitchReplay::ensure(std::uint64_t windows) {
+  while (windows_ < windows) {
+    policy_->pick_indices(pool_size_, slots_, scratch_);
+    CVMT_CHECK(scratch_.size() == take_);
+    picks_.insert(picks_.end(), scratch_.begin(), scratch_.end());
+    ++windows_;
+  }
+}
+
+}  // namespace cvmt

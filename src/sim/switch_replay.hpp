@@ -1,0 +1,51 @@
+// Recorded thread-switch decisions, shared across a batch.
+//
+// For an *oblivious* switch policy (SwitchPolicy::oblivious) the whole
+// pick sequence is a pure function of (policy kind, seed, pool size, slot
+// count): while no pooled thread is done, nothing about the threads'
+// execution state feeds the decision, and the batch engine's window loop
+// structurally guarantees a run stops at the first completion — no
+// reschedule ever observes a done thread. A scheme x workload grid
+// therefore re-draws the *same* pick sequence once per (scheme thread
+// count) instead of once per job; SwitchReplay records it by driving a
+// private policy instance through pick_indices and hands out flat
+// per-window index rows. Recordings grow on demand and live as long as
+// the batch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/switch_policy.hpp"
+
+namespace cvmt {
+
+/// One recorded pick sequence. `window(w)` is the row of `take()` pool
+/// indices the policy assigns to slots 0..take at the w-th reschedule.
+class SwitchReplay {
+ public:
+  /// The policy made from (kind, seed) must be oblivious.
+  SwitchReplay(SwitchPolicyKind kind, std::uint64_t seed, int pool_size,
+               int slots);
+
+  /// Extends the recording to at least `windows` reschedules.
+  void ensure(std::uint64_t windows);
+
+  [[nodiscard]] const std::uint8_t* window(std::uint64_t w) const {
+    return picks_.data() + w * take_;
+  }
+  /// Indices per window: min(slots, pool_size).
+  [[nodiscard]] std::size_t take() const { return take_; }
+
+ private:
+  std::unique_ptr<SwitchPolicy> policy_;
+  int pool_size_;
+  int slots_;
+  std::size_t take_;
+  std::uint64_t windows_ = 0;         ///< reschedules recorded so far
+  std::vector<std::uint8_t> picks_;   ///< flat, stride take_
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace cvmt

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace_replay.hpp"
+
 namespace cvmt {
 
 ThreadContext::ThreadContext(std::string name,
@@ -19,7 +21,9 @@ void ThreadContext::reset(std::string_view name,
                           std::uint64_t stream_seed,
                           std::uint64_t instruction_budget) {
   name_.assign(name);
-  gen_.reset(std::move(program), stream_seed);
+  pending_program_ = std::move(program);
+  pending_seed_ = stream_seed;
+  gen_stale_ = true;
   budget_ = instruction_budget;
   CVMT_CHECK(budget_ >= 1);
   has_pending_ = false;
@@ -29,18 +33,38 @@ void ThreadContext::reset(std::string_view name,
   pending_patches_ = nullptr;
   ready_at_ = 0;
   stats_ = ThreadStats{};
+  replay_ = nullptr;
+  replay_pos_ = 0;
 }
 
 void ThreadContext::refill(std::uint64_t cycle, MemorySystem& mem,
                            int hw_tid) {
-  gen_.advance();
-  pending_ = &gen_.current_instruction();
-  pending_fp_ = &gen_.current_footprint();
-  pending_patches_ = &gen_.current_patches();
+  std::uint64_t pc;
+  if (replay_ != nullptr) {
+    // The stream content comes from the recording; the fetch below stays
+    // live (hits depend on the cross-thread interleaving).
+    CVMT_CHECK_MSG(replay_pos_ < replay_->recorded(),
+                   "replay recording shorter than the thread's budget");
+    const TraceReplay::Entry& e = replay_->entry(replay_pos_++);
+    pending_ = nullptr;
+    pending_fp_ = e.fp;
+    pending_patches_ = nullptr;
+    pc = e.pc;
+  } else {
+    if (gen_stale_) {
+      gen_.reset(std::move(pending_program_), pending_seed_);
+      gen_stale_ = false;
+    }
+    gen_.advance();
+    pending_ = &gen_.current_instruction();
+    pending_fp_ = &gen_.current_footprint();
+    pending_patches_ = &gen_.current_patches();
+    pc = gen_.current_pc();
+  }
   has_pending_ = true;
   // Fetch starts once the previous instruction's stalls resolve; an
   // ICache miss then delays issue further.
-  const MemAccessResult fetch = mem.fetch(hw_tid, gen_.current_pc());
+  const MemAccessResult fetch = mem.fetch(hw_tid, pc);
   if (!fetch.hit) {
     ready_at_ = std::max(ready_at_, cycle) +
                 static_cast<std::uint64_t>(fetch.penalty_cycles);
@@ -54,14 +78,11 @@ void ThreadContext::consume(std::uint64_t cycle, MemorySystem& mem,
                             MissPolicy policy) {
   CVMT_CHECK_MSG(has_pending_ && cycle >= ready_at_,
                  "consume without a ready offer");
-  // Account the issued instruction.
-  ++stats_.instructions;
-  stats_.ops += pending_->op_count();
-  if (pending_->empty()) ++stats_.bubbles;
-
   // Execution stalls: taken-branch squash plus DCache misses. Only the
-  // patched (memory/branch) ops are timing-relevant; the precomputed
-  // patch list visits exactly those, in op order.
+  // patched (memory/branch) ops are timing-relevant; on the generator
+  // path the precomputed patch list visits exactly those, in op order,
+  // and on the replay path the recording already holds their values in
+  // that order — the data accesses below are identical either way.
   std::uint64_t stall = 1;
   int dmiss_total = 0;
   int dmiss_max = 0;
@@ -69,21 +90,38 @@ void ThreadContext::consume(std::uint64_t cycle, MemorySystem& mem,
   const bool banked = mem.config().dcache_banks > 1;
   std::uint32_t banks_touched = 0;
   int bank_conflicts = 0;
-  for (const std::uint8_t idx : *pending_patches_) {
-    const Operation& op = pending_->op(idx);
-    if (is_memory(op.kind)) {
-      const MemAccessResult r = mem.data_access(hw_tid, op.addr);
-      dmiss_total += r.penalty_cycles;
-      dmiss_max = std::max(dmiss_max, r.penalty_cycles);
-      if (banked) {
-        // Same-packet accesses to one bank serialize: each repeat pays the
-        // conflict penalty (the first access per bank is free).
-        const std::uint32_t bit = 1u << r.bank;
-        if ((banks_touched & bit) != 0) ++bank_conflicts;
-        banks_touched |= bit;
+  const auto data_op = [&](std::uint64_t addr) {
+    const MemAccessResult r = mem.data_access(hw_tid, addr);
+    dmiss_total += r.penalty_cycles;
+    dmiss_max = std::max(dmiss_max, r.penalty_cycles);
+    if (banked) {
+      // Same-packet accesses to one bank serialize: each repeat pays the
+      // conflict penalty (the first access per bank is free).
+      const std::uint32_t bit = 1u << r.bank;
+      if ((banks_touched & bit) != 0) ++bank_conflicts;
+      banks_touched |= bit;
+    }
+  };
+  if (replay_ != nullptr) {
+    const TraceReplay::Entry& e = replay_->entry(replay_pos_ - 1);
+    ++stats_.instructions;
+    stats_.ops += e.op_count;
+    if (e.empty) ++stats_.bubbles;
+    const std::uint64_t* addrs = replay_->mem_addrs(e);
+    for (int k = 0; k < static_cast<int>(e.mem_count); ++k)
+      data_op(addrs[k]);
+    taken = e.taken;
+  } else {
+    ++stats_.instructions;
+    stats_.ops += pending_->op_count();
+    if (pending_->empty()) ++stats_.bubbles;
+    for (const std::uint8_t idx : *pending_patches_) {
+      const Operation& op = pending_->op(idx);
+      if (is_memory(op.kind)) {
+        data_op(op.addr);
+      } else if (op.taken) {  // patch lists hold only memory and branch ops
+        taken = true;
       }
-    } else if (op.taken) {  // patch lists hold only memory and branch ops
-      taken = true;
     }
   }
   if (bank_conflicts > 0) {

@@ -17,6 +17,8 @@
 
 namespace cvmt {
 
+class TraceReplay;
+
 /// How multiple DCache misses inside one issued packet are charged.
 enum class MissPolicy : std::uint8_t {
   kSerialized,  ///< each miss blocks in turn (simple blocking LSU, default;
@@ -60,6 +62,18 @@ class ThreadContext {
   void reset(std::string_view name,
              std::shared_ptr<const SyntheticProgram> program,
              std::uint64_t stream_seed, std::uint64_t instruction_budget);
+
+  /// Switches this context to replay a recorded stream instead of driving
+  /// its own generator. `replay` must have been recorded from the same
+  /// (program, stream_seed) this context was reset with, and must hold at
+  /// least `instruction_budget` entries; the caller keeps it alive for the
+  /// run. Cache fetches and data accesses still happen live — only the
+  /// stream *content* comes from the recording, so the execution is
+  /// bit-identical to the generator path. reset() clears replay mode.
+  void set_replay(const TraceReplay* replay) {
+    replay_ = replay;
+    replay_pos_ = 0;
+  }
 
   /// Offers this thread's next instruction for merging at `cycle`.
   /// Fetches (and charges ICache penalties) lazily; returns nullptr while
@@ -112,6 +126,17 @@ class ThreadContext {
   TraceGenerator gen_;
   std::uint64_t budget_;
 
+  /// Deferred generator rebind: reset() only records the target stream
+  /// here and refill() arms the generator on first use. A replay-backed
+  /// run never touches its generator, so the batch engine skips the
+  /// stream-start work (RNG seeding, loop setup) entirely; on the
+  /// generator path the same work happens at first refill instead of at
+  /// reset — bit-identical either way, the stream is a pure function of
+  /// (program, seed).
+  std::shared_ptr<const SyntheticProgram> pending_program_;
+  std::uint64_t pending_seed_ = 0;
+  bool gen_stale_ = false;
+
   bool has_pending_ = false;
   bool done_ = false;
   /// Pending instruction state: pointers into our own generator (its
@@ -121,6 +146,11 @@ class ThreadContext {
   const Instruction* pending_ = nullptr;
   const SyntheticProgram::PatchList* pending_patches_ = nullptr;
   std::uint64_t ready_at_ = 0;
+
+  /// Replay mode (batch engine): recorded stream and the index of the
+  /// next entry to fetch. Null on the classic generator path.
+  const TraceReplay* replay_ = nullptr;
+  std::uint64_t replay_pos_ = 0;
 
   ThreadStats stats_;
 };

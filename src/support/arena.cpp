@@ -1,0 +1,95 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+namespace {
+
+[[nodiscard]] constexpr bool is_pow2(std::size_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+[[nodiscard]] constexpr std::size_t align_up(std::size_t v,
+                                             std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Bytes a (size, align) request can need inside a chunk whose base is
+/// only guaranteed max_align_t-aligned: payload plus worst-case pad.
+[[nodiscard]] constexpr std::size_t worst_case(std::size_t size,
+                                               std::size_t align) {
+  return size + align;
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_chunk_bytes) {
+  Chunk first;
+  first.capacity = std::max<std::size_t>(first_chunk_bytes, 64);
+  first.data = std::make_unique<std::byte[]>(first.capacity);
+  bytes_reserved_ = first.capacity;
+  chunks_.push_back(std::move(first));
+}
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+  CVMT_CHECK_MSG(is_pow2(align), "arena alignment must be a power of two");
+  // Fast path: bump within the current chunk. new[] storage is
+  // max_align_t-aligned, so aligning the *offset* aligns the pointer for
+  // any align up to that; larger alignments take the slow path, which
+  // pads from the raw pointer value.
+  if (align <= alignof(std::max_align_t)) {
+    Chunk& chunk = chunks_[current_];
+    const std::size_t start = align_up(cursor_, align);
+    if (start + size <= chunk.capacity && start + size >= size) {
+      bytes_used_ += (start - cursor_) + size;
+      cursor_ = start + size;
+      return chunk.data.get() + start;
+    }
+  }
+  return refill_and_allocate(size, align);
+}
+
+void* Arena::refill_and_allocate(std::size_t size, std::size_t align) {
+  // Move to the first later (already-reserved — reset() keeps them)
+  // chunk that fits; reserve a fresh doubled chunk when none does.
+  std::size_t idx = current_;
+  std::size_t at = std::min(cursor_, chunks_[idx].capacity);
+  while (worst_case(size, align) > chunks_[idx].capacity - at) {
+    if (idx + 1 == chunks_.size()) {
+      Chunk next;
+      next.capacity =
+          std::max(chunks_.back().capacity * 2, worst_case(size, align));
+      next.data = std::make_unique<std::byte[]>(next.capacity);
+      bytes_reserved_ += next.capacity;
+      chunks_.push_back(std::move(next));
+    }
+    ++idx;
+    at = 0;
+  }
+  current_ = idx;
+  Chunk& chunk = chunks_[current_];
+  const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+  const std::size_t start = static_cast<std::size_t>(
+      align_up(base + at, align) - base);
+  CVMT_CHECK(start + size <= chunk.capacity);
+  bytes_used_ += (start - at) + size;
+  cursor_ = start + size;
+  return chunk.data.get() + start;
+}
+
+void Arena::reset() {
+  current_ = 0;
+  cursor_ = 0;
+  bytes_used_ = 0;
+}
+
+void Arena::release() {
+  chunks_.resize(1);
+  bytes_reserved_ = chunks_[0].capacity;
+  reset();
+}
+
+}  // namespace cvmt

@@ -1,0 +1,92 @@
+// Bump-pointer arena allocator for per-run simulation state.
+//
+// A dense sweep allocates the same small objects (thread contexts,
+// scheduler scratch, lane bookkeeping) tens of thousands of times; the
+// arena replaces those per-instance heap allocations with pointer bumps
+// into chunked slabs. reset() is O(1): it rewinds the cursor to the first
+// chunk and reuses the already-reserved slabs in place, so a batch engine
+// can recycle its whole per-run footprint between grids without touching
+// the system allocator.
+//
+// The arena hands out raw storage and never runs destructors — reset()
+// would otherwise be O(live objects). Callers placement-new non-trivially-
+// destructible objects via create<T>() and must destroy them explicitly
+// before reset()/destruction (SimBatch tracks its contexts for exactly
+// this); trivially-destructible payloads need no teardown at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace cvmt {
+
+class Arena {
+ public:
+  /// `first_chunk_bytes` sizes the initial slab; later slabs double (and
+  /// always fit the requested allocation).
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `size` bytes aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)... larger requests are honoured too since
+  /// chunks come from operator new with explicit alignment). Never
+  /// returns nullptr; size 0 yields a valid (dereference-free) pointer.
+  [[nodiscard]] void* allocate(std::size_t size, std::size_t align);
+
+  /// Placement-constructs a T in arena storage. The arena does NOT run
+  /// ~T(): callers own the destruction of non-trivially-destructible
+  /// objects (destroy before reset()).
+  template <typename T, typename... Args>
+  [[nodiscard]] T* create(Args&&... args) {
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// A contiguous uninitialized array of `count` T.
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(sizeof(T) * count, alignof(T)));
+  }
+
+  /// O(1) rewind: all outstanding allocations are invalidated, every
+  /// reserved chunk is kept for reuse. Constant-time by construction —
+  /// no chunk list walk, no destructor sweep.
+  void reset();
+
+  /// Drops every chunk except the first (which is kept, rewound), giving
+  /// reserved memory back to the system. O(chunks), for explicit trims.
+  void release();
+
+  /// Bytes handed out since construction/reset (including alignment pad).
+  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+  /// Bytes reserved from the system across all chunks.
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    return bytes_reserved_;
+  }
+  [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  static constexpr std::size_t kDefaultChunkBytes = 1 << 14;  // 16 KiB
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+  };
+
+  /// Ensures the current chunk fits (size, align); out-of-line slow path.
+  void* refill_and_allocate(std::size_t size, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;   ///< index of the chunk being bumped
+  std::size_t cursor_ = 0;    ///< bump offset inside chunks_[current_]
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace cvmt

@@ -1,0 +1,32 @@
+#include "trace/trace_replay.hpp"
+
+namespace cvmt {
+
+void TraceReplay::ensure(std::uint64_t count) {
+  while (entries_.size() < count) {
+    gen_.advance();
+    // Mirror of ThreadContext's live issue path: the patch list visits
+    // exactly the memory and branch ops, in op order; everything else
+    // about the packet is template-invariant.
+    const Instruction& inst = gen_.current_instruction();
+    Entry e;
+    e.fp = &gen_.current_footprint();
+    e.pc = gen_.current_pc();
+    e.mem_begin = static_cast<std::uint32_t>(addrs_.size());
+    e.op_count = static_cast<std::uint8_t>(inst.op_count());
+    e.empty = inst.empty();
+    e.taken = false;
+    for (const std::uint8_t idx : gen_.current_patches()) {
+      const Operation& op = inst.op(idx);
+      if (is_memory(op.kind)) {
+        addrs_.push_back(op.addr);
+      } else if (op.taken) {
+        e.taken = true;
+      }
+    }
+    e.mem_count = static_cast<std::uint8_t>(addrs_.size() - e.mem_begin);
+    entries_.push_back(e);
+  }
+}
+
+}  // namespace cvmt

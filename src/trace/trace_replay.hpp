@@ -1,0 +1,71 @@
+// Recorded dynamic instruction stream: generate once, replay many times.
+//
+// A thread's trace is fully determined by (program, stream_seed) — the
+// merge scheme, memory system and OS policy only decide *when* each
+// instruction issues, never *what* the stream contains. Dense sweeps
+// therefore re-generate the same streams over and over: the 16-scheme x
+// 9-workload grid draws every workload's traces 16 times, and a fuzz
+// case's oracle configurations re-draw identical streams per
+// configuration. TraceReplay records a stream's timing-relevant content
+// once — footprint, salted PC, patched memory addresses, taken-branch
+// flag, op/bubble counts per instruction — by driving the production
+// TraceGenerator, so the recording is identical to the live stream by
+// construction. ThreadContext then replays from the arrays: no RNG
+// draws, no cursor arithmetic, no template patching on the batch hot
+// path. Cache accesses are NOT recorded — hits and misses depend on the
+// cross-thread interleaving, so the replaying context still performs
+// every fetch and data access live, in simulated order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/trace_generator.hpp"
+
+namespace cvmt {
+
+/// One software thread's recorded stream. Grows lazily via ensure(); the
+/// embedded generator keeps its position so extension is incremental.
+class TraceReplay {
+ public:
+  TraceReplay(std::shared_ptr<const SyntheticProgram> program,
+              std::uint64_t stream_seed)
+      : gen_(std::move(program), stream_seed) {}
+
+  /// Everything the issue path needs from one dynamic instruction. The
+  /// footprint pointer reaches into the shared immutable program; memory
+  /// addresses live in the recording's own pool (`mem_begin`/`mem_count`).
+  struct Entry {
+    const Footprint* fp;
+    std::uint64_t pc;          ///< salted fetch address
+    std::uint32_t mem_begin;   ///< first address in the shared pool
+    std::uint8_t mem_count;    ///< patched memory ops in this packet
+    std::uint8_t op_count;     ///< useful ops (template-invariant)
+    bool empty;                ///< bubble packet
+    bool taken;                ///< any patched branch taken
+  };
+
+  /// Extends the recording to at least `count` instructions.
+  void ensure(std::uint64_t count);
+
+  [[nodiscard]] const Entry& entry(std::uint64_t i) const {
+    return entries_[i];
+  }
+  [[nodiscard]] const std::uint64_t* mem_addrs(const Entry& e) const {
+    return addrs_.data() + e.mem_begin;
+  }
+  [[nodiscard]] std::uint64_t recorded() const { return entries_.size(); }
+  /// Approximate heap footprint, for the batch engine's cache budget.
+  [[nodiscard]] std::size_t bytes() const {
+    return entries_.capacity() * sizeof(Entry) +
+           addrs_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  TraceGenerator gen_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> addrs_;
+};
+
+}  // namespace cvmt

@@ -1,0 +1,137 @@
+// Unit tests for the bump-pointer arena: alignment, chunk growth, O(1)
+// reset with chunk reuse, create<T> lifetime rules and the stats
+// accessors the batch engine's footprint reporting relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/check.hpp"
+
+namespace cvmt {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);
+  std::vector<std::pair<std::byte*, std::size_t>> blocks;
+  const std::size_t sizes[] = {1, 3, 8, 24, 64, 7, 128};
+  const std::size_t aligns[] = {1, 2, 8, 8, 16, 4, 16};
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    auto* p = static_cast<std::byte*>(arena.allocate(sizes[i], aligns[i]));
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(aligned_to(p, aligns[i]));
+    std::memset(p, static_cast<int>(i + 1), sizes[i]);  // scribble
+    blocks.emplace_back(p, sizes[i]);
+  }
+  // No block overlaps another (the scribbles survive).
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    for (std::size_t b = 0; b < blocks[i].second; ++b)
+      EXPECT_EQ(std::to_integer<int>(blocks[i].first[b]),
+                static_cast<int>(i + 1));
+  EXPECT_GE(arena.bytes_used(), 1u + 3 + 8 + 24 + 64 + 7 + 128);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(Arena, GrowsBeyondTheFirstChunk) {
+  Arena arena(/*first_chunk_bytes=*/128);
+  EXPECT_EQ(arena.num_chunks(), 1u);
+  for (int i = 0; i < 64; ++i) (void)arena.allocate(64, 8);
+  EXPECT_GT(arena.num_chunks(), 1u);
+  EXPECT_GE(arena.bytes_used(), 64u * 64u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnChunk) {
+  Arena arena(64);
+  auto* p = static_cast<std::byte*>(arena.allocate(10'000, 16));
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(aligned_to(p, 16));
+  std::memset(p, 0x5a, 10'000);
+  EXPECT_GE(arena.bytes_reserved(), 10'000u);
+}
+
+TEST(Arena, ResetIsReusableAndKeepsReservedChunks) {
+  Arena arena(128);
+  for (int i = 0; i < 100; ++i) (void)arena.allocate(48, 8);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t chunks = arena.num_chunks();
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.num_chunks(), chunks);
+
+  // The same allocation sequence reuses the reserved chunks: no growth.
+  for (int i = 0; i < 100; ++i) (void)arena.allocate(48, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.num_chunks(), chunks);
+}
+
+TEST(Arena, ResetRecyclesAddresses) {
+  Arena arena(256);
+  void* first = arena.allocate(32, 8);
+  arena.reset();
+  void* again = arena.allocate(32, 8);
+  EXPECT_EQ(first, again);
+}
+
+TEST(Arena, CreateConstructsInPlace) {
+  Arena arena;
+  struct Pod {
+    std::uint64_t a;
+    std::uint32_t b;
+  };
+  Pod* pod = arena.create<Pod>(Pod{42, 7});
+  EXPECT_EQ(pod->a, 42u);
+  EXPECT_EQ(pod->b, 7u);
+  EXPECT_TRUE(aligned_to(pod, alignof(Pod)));
+
+  // Non-trivially-destructible payloads are the caller's to destroy.
+  auto* s = arena.create<std::string>(1000, 'x');
+  EXPECT_EQ(s->size(), 1000u);
+  s->~basic_string();
+}
+
+TEST(Arena, AllocateArrayIsContiguous) {
+  Arena arena(64);
+  std::uint64_t* a = arena.allocate_array<std::uint64_t>(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(aligned_to(a, alignof(std::uint64_t)));
+  for (std::size_t i = 0; i < 100; ++i) a[i] = i * i;
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a[i], i * i);
+}
+
+TEST(Arena, OveralignedAllocationIsHonoured) {
+  Arena arena(256);
+  (void)arena.allocate(1, 1);  // knock the cursor off alignment
+  void* p = arena.allocate(64, 64);
+  EXPECT_TRUE(aligned_to(p, 64));
+}
+
+TEST(Arena, ReleaseDropsToOneChunk) {
+  Arena arena(64);
+  for (int i = 0; i < 100; ++i) (void)arena.allocate(64, 8);
+  EXPECT_GT(arena.num_chunks(), 1u);
+  arena.release();
+  EXPECT_EQ(arena.num_chunks(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Still usable afterwards.
+  void* p = arena.allocate(16, 8);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, RejectsNonPowerOfTwoAlignment) {
+  Arena arena;
+  EXPECT_THROW((void)arena.allocate(8, 3), CheckError);
+  EXPECT_THROW((void)arena.allocate(8, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace cvmt

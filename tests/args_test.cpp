@@ -293,6 +293,30 @@ TEST_P(StandardKnobTest, EnvSuppliesValueAndCliOverrides) {
   }
 }
 
+// Lane counts must fail at resolve() time, before any sweep work: 0 and
+// non-powers-of-two are always typos, and the error must name the knob.
+TEST(LanesKnob, EagerValidationRejectsZeroAndNonPowerOfTwo) {
+  for (const char* bad : {"0", "3", "6", "5000"}) {
+    ArgParser p("prog", "");
+    ExperimentParams::add_standard_flags(p);
+    const std::string flag = std::string("--lanes=") + bad;
+    const char* argv[] = {"prog", flag.c_str()};
+    ASSERT_EQ(p.parse(2, argv), ArgParser::Outcome::kOk);
+    try {
+      (void)ExperimentParams::resolve(p);
+      FAIL() << "--lanes=" << bad << " should have been rejected";
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find("power of two"),
+                std::string::npos);
+    }
+  }
+  ArgParser p("prog", "");
+  ExperimentParams::add_standard_flags(p);
+  const char* argv[] = {"prog", "--lanes=8"};
+  ASSERT_EQ(p.parse(2, argv), ArgParser::Outcome::kOk);
+  EXPECT_EQ(ExperimentParams::resolve(p).cfg.batch.lanes, 8u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     EveryCvmtKnob, StandardKnobTest,
     ::testing::Values(
@@ -301,6 +325,7 @@ INSTANTIATE_TEST_SUITE_P(
         Knob{"timeslice", "CVMT_TIMESLICE", Knob::Kind::kU64, "777",
              "555"},
         Knob{"workers", "CVMT_WORKERS", Knob::Kind::kU64, "3", "2"},
+        Knob{"lanes", "CVMT_BATCH_LANES", Knob::Kind::kU64, "8", "4"},
         Knob{"stats", "CVMT_STATS", Knob::Kind::kString, "full", "fast"},
         // env_word() canonicalizes environment words to lower case, so
         // the env-layer expectations must be lower case already; CLI
