@@ -1,0 +1,381 @@
+// Wall-clock validation of the serve layer: an in-process ServeServer on
+// an ephemeral port, driven by pipelined clients issuing many *small* run
+// requests — the workload the daemon exists for (a warm ArtifactCache
+// turning every repeat (scheme, workload) pair into run-only cost).
+//
+// The measured load is `runs` run requests spread round-robin over
+// `connections` connections, each keeping `pipeline` requests in flight.
+// Every response is matched to its request by id; per-request latency is
+// the send-to-response wall time observed by the client thread. Requests
+// rotate through a fixed scheme x workload grid, so every payload repeats
+// many times — and every repeat MUST be byte-identical to the first
+// occurrence (the process exits non-zero otherwise). That is the serve
+// counterpart of bench_session_reuse's bit-identity check: residency may
+// never change results.
+//
+// Deliberately not a registry experiment: the output is wall-clock. The
+// checked-in perf trajectory still records it — --format=json emits the
+// registry-style envelope (see exp/bench_artifact.hpp), and CI
+// regenerates BENCH_serve.json and diffs its structure.
+//
+//   ./bench_serve [--budget=N] [--runs=N] [--connections=N]
+//                 [--pipeline=N] [--workers=N] [--reps=N]
+//                 [--format=table|json] [--out=FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/bench_artifact.hpp"
+#include "serve/server.hpp"
+#include "sim/session.hpp"
+#include "support/args.hpp"
+#include "support/check.hpp"
+#include "support/socket.hpp"
+#include "trace/benchmark_suite.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Blocking line-framed client connection (same framing as cvmt client).
+struct LineConn {
+  explicit LineConn(std::uint16_t port)
+      : stream(cvmt::connect_local(port)) {}
+
+  cvmt::TcpStream stream;
+  std::string buf;
+
+  bool send_line(std::string line) {
+    line.push_back('\n');
+    return stream.send_all(line);
+  }
+
+  /// Next full line, or empty on EOF (responses never contain empty
+  /// lines).
+  std::string recv_line() {
+    for (;;) {
+      const std::size_t pos = buf.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        return line;
+      }
+      char chunk[16384];
+      const long n = stream.recv_some(chunk, sizeof(chunk));
+      if (n <= 0) return std::string();
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+/// One grid point of the request rotation: the compact request line with
+/// an `@` placeholder where the per-send id goes, plus the grid key used
+/// for the byte-identity grouping.
+struct RunTemplate {
+  std::string line;  // contains "@" exactly once (the id slot)
+  std::size_t key;   // grid index: scheme * workloads + workload
+};
+
+std::vector<RunTemplate> build_grid(std::uint64_t budget) {
+  using namespace cvmt;
+  static const std::vector<std::string> kSchemes = {"2SC3", "3SCC", "C4",
+                                                    "2CS"};
+  const std::vector<Workload> workloads = table2_workloads();
+  std::vector<RunTemplate> grid;
+  for (std::size_t s = 0; s < kSchemes.size(); ++s)
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      JsonValue req = JsonValue::object();
+      req.set("id", JsonValue("@"));
+      req.set("type", JsonValue("run"));
+      req.set("scheme", JsonValue(kSchemes[s]));
+      JsonValue benches = JsonValue::array();
+      for (const std::string& b : workloads[w].benchmarks)
+        benches.push_back(JsonValue(b));
+      req.set("benchmarks", std::move(benches));
+      JsonValue cfg = JsonValue::object();
+      cfg.set("fast", JsonValue(true));
+      cfg.set("budget", JsonValue(static_cast<std::int64_t>(budget)));
+      req.set("config", std::move(cfg));
+      grid.push_back({req.dump(-1), s * workloads.size() + w});
+    }
+  return grid;
+}
+
+struct ConnStats {
+  std::vector<double> latencies_us;
+  // key -> "result" payload (compact); first occurrence wins, repeats
+  // must match byte for byte.
+  std::map<std::size_t, std::string> payload_by_key;
+  std::size_t ok = 0;
+  std::size_t errors = 0;
+};
+
+/// Drives `count` requests over one connection with a bounded pipeline
+/// window, rotating through the grid starting at `offset`.
+ConnStats drive_connection(std::uint16_t port,
+                           const std::vector<RunTemplate>& grid,
+                           std::size_t conn_index, std::size_t count,
+                           std::size_t window) {
+  using namespace cvmt;
+  LineConn conn(port);
+  ConnStats stats;
+  std::vector<Clock::time_point> sent_at(count);
+  std::vector<std::size_t> key_of(count);
+
+  std::size_t next_send = 0;
+  std::size_t answered = 0;
+  const auto send_one = [&]() -> bool {
+    const RunTemplate& t = grid[(conn_index + next_send) % grid.size()];
+    std::string line = t.line;
+    const std::size_t at = line.find('@');
+    line.replace(at, 1,
+                 "c" + std::to_string(conn_index) + "-" +
+                     std::to_string(next_send));
+    key_of[next_send] = t.key;
+    sent_at[next_send] = Clock::now();
+    ++next_send;
+    return conn.send_line(std::move(line));
+  };
+
+  while (answered < count) {
+    while (next_send < count && next_send - answered < window)
+      if (!send_one()) throw CheckError("bench_serve: send failed");
+    const std::string line = conn.recv_line();
+    if (line.empty())
+      throw CheckError("bench_serve: server closed the connection");
+    const Clock::time_point now = Clock::now();
+    const JsonValue resp = JsonValue::parse(line);
+    const std::string& id = resp.get("id").as_string();
+    const std::size_t dash = id.find('-');
+    CVMT_CHECK_MSG(dash != std::string::npos, "bad response id: " + id);
+    const std::size_t i = std::stoul(id.substr(dash + 1));
+    CVMT_CHECK_MSG(i < next_send, "response for unsent request: " + id);
+    stats.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(now - sent_at[i])
+            .count());
+    ++answered;
+    if (resp.get("ok").as_bool()) {
+      ++stats.ok;
+      std::string payload = resp.get("result").dump(-1);
+      auto [it, inserted] =
+          stats.payload_by_key.emplace(key_of[i], std::move(payload));
+      if (!inserted && it->second != resp.get("result").dump(-1))
+        throw CheckError(
+            "bench_serve: repeated request diverged from first "
+            "occurrence (grid key " +
+            std::to_string(key_of[i]) + ")");
+    } else {
+      ++stats.errors;
+    }
+  }
+  return stats;
+}
+
+double percentile_us(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cvmt;
+  ArgParser args("bench_serve",
+                 "Sustained pipelined throughput and latency of the serve "
+                 "daemon under many small run requests, byte-identity "
+                 "checked across every repeated request.");
+  args.add_u64("budget", "N",
+               "Instruction budget per thread and run (small on purpose: "
+               "the load stresses dispatch and cache residency, not "
+               "simulation).",
+               "CVMT_BUDGET");
+  args.add_u64("runs", "N", "Total run requests in the timed pass.");
+  args.add_u64("connections", "N", "Concurrent pipelined connections.");
+  args.add_u64("pipeline", "N", "In-flight requests per connection.");
+  args.add_u64("workers", "N", "Server worker threads (0 = all cores).");
+  args.add_u64("reps", "N", "Timed passes; the best (fastest) is kept.");
+  args.add_string("format", "fmt",
+                  "Output format: aligned table or the registry-style "
+                  "JSON envelope.",
+                  {}, {"table", "json"});
+  args.add_string("out", "file",
+                  "Write the report to this file instead of stdout "
+                  "(atomic replace; diagnostics stay on stderr).");
+  switch (args.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+
+  const std::uint64_t budget = args.get_u64("budget", 500);
+  const std::uint64_t runs = args.get_u64("runs", 1000);
+  const std::size_t connections =
+      static_cast<std::size_t>(args.get_u64("connections", 4));
+  const std::size_t pipeline =
+      static_cast<std::size_t>(args.get_u64("pipeline", 32));
+  const std::uint64_t reps = args.get_u64("reps", 3);
+  if (connections == 0 || pipeline == 0 || runs == 0) {
+    std::cerr << "bench_serve: --runs, --connections and --pipeline must "
+                 "be positive\n";
+    return 2;
+  }
+
+  ServeConfig config;
+  config.port = 0;
+  config.workers = static_cast<std::size_t>(args.get_u64("workers", 0));
+  config.queue_capacity = 4096;
+  ArtifactCache cache;  // private cache: the bench owns its warm-up
+  ServeServer server(config, cache);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  const std::vector<RunTemplate> grid = build_grid(budget);
+
+  const auto one_pass = [&](std::uint64_t total) {
+    std::vector<std::future<ConnStats>> futures;
+    const std::size_t base = total / connections;
+    const std::size_t extra = total % connections;
+    for (std::size_t c = 0; c < connections; ++c)
+      futures.push_back(std::async(std::launch::async, [&, c] {
+        return drive_connection(port, grid, c, base + (c < extra ? 1 : 0),
+                                pipeline);
+      }));
+    std::vector<ConnStats> results;
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  };
+
+  // Warm-up pass: one full grid rotation per connection. Builds every
+  // scheme and workload into the cache (the residency the timed pass
+  // measures) and seeds the byte-identity baselines.
+  std::map<std::size_t, std::string> baseline;
+  for (const ConnStats& s : one_pass(grid.size() * connections)) {
+    if (s.errors != 0) {
+      std::cerr << "bench_serve: warm-up saw " << s.errors
+                << " error responses\n";
+      return 1;
+    }
+    for (const auto& [key, payload] : s.payload_by_key) {
+      auto [it, inserted] = baseline.emplace(key, payload);
+      if (!inserted && it->second != payload) {
+        std::cerr << "bench_serve: warm-up responses diverged across "
+                     "connections (grid key "
+                  << key << ")\n";
+        return 1;
+      }
+    }
+  }
+
+  // Timed passes: best-of-reps wall clock (the robust throughput
+  // estimator on a shared machine); latencies pooled across all passes.
+  double best_wall_s = 0.0;
+  std::vector<double> latencies;
+  std::size_t total_ok = 0;
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    const Clock::time_point start = Clock::now();
+    std::vector<ConnStats> results = one_pass(runs);
+    const double wall = seconds_since(start);
+    if (r == 0 || wall < best_wall_s) best_wall_s = wall;
+    for (const ConnStats& s : results) {
+      if (s.errors != 0) {
+        std::cerr << "bench_serve: timed pass saw " << s.errors
+                  << " error responses\n";
+        return 1;
+      }
+      total_ok += s.ok;
+      latencies.insert(latencies.end(), s.latencies_us.begin(),
+                       s.latencies_us.end());
+      for (const auto& [key, payload] : s.payload_by_key) {
+        const auto it = baseline.find(key);
+        if (it != baseline.end() && it->second != payload) {
+          std::cerr << "bench_serve: timed response diverged from "
+                       "warm-up baseline (grid key "
+                    << key << ")\n";
+          return 1;
+        }
+      }
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  const JsonValue stats = server.stats_json();
+  const double hit_rate =
+      stats.get("cache").get("hit_rate").as_double();
+  server.stop();
+
+  BenchReport report;
+  report.id = "bench-serve";
+  report.description =
+      "Sustained pipelined run-request throughput and latency of the "
+      "serve daemon; byte-identity checked across every repeated "
+      "request.";
+  report.params.set("budget", JsonValue(static_cast<std::int64_t>(budget)));
+  report.params.set("runs", JsonValue(static_cast<std::int64_t>(runs)));
+  report.params.set("connections",
+                    JsonValue(static_cast<std::int64_t>(connections)));
+  report.params.set("pipeline",
+                    JsonValue(static_cast<std::int64_t>(pipeline)));
+  report.params.set("reps", JsonValue(static_cast<std::int64_t>(reps)));
+
+  ResultSection throughput;
+  // No run parameters in section titles: CI regenerates this report at a
+  // smaller load and structure-diffs titles+columns against the committed
+  // baseline.
+  throughput.title = "Serve: sustained pipelined run throughput";
+  throughput.data = Dataset(
+      {ColumnSpec::integer("Connections"), ColumnSpec::integer("Pipeline"),
+       ColumnSpec::integer("Workers"), ColumnSpec::integer("Runs"),
+       ColumnSpec::real("Wall s", 3), ColumnSpec::real("Runs/s", 0)});
+  throughput.data.add_row(
+      {static_cast<std::int64_t>(connections),
+       static_cast<std::int64_t>(pipeline),
+       static_cast<std::int64_t>(server.num_workers()),
+       static_cast<std::int64_t>(runs), best_wall_s,
+       static_cast<double>(runs) / best_wall_s});
+  report.sections.push_back(std::move(throughput));
+
+  ResultSection latency;
+  latency.title = "Serve: request latency percentiles";
+  latency.data = Dataset({ColumnSpec::str("Percentile"),
+                          ColumnSpec::real("Latency us", 0)});
+  latency.data.add_row({std::string("p50"), percentile_us(latencies, 0.50)});
+  latency.data.add_row({std::string("p90"), percentile_us(latencies, 0.90)});
+  latency.data.add_row({std::string("p99"), percentile_us(latencies, 0.99)});
+  latency.data.add_row(
+      {std::string("max"),
+       latencies.empty() ? 0.0 : latencies.back()});
+  latency.note = "\nBest-of-" + std::to_string(reps) +
+                 " wall clock; latency pooled over all passes (" +
+                 std::to_string(latencies.size()) +
+                 " requests), send-to-response as seen by the client "
+                 "thread, pipelining included.\n";
+  report.sections.push_back(std::move(latency));
+
+  ResultSection headline;
+  headline.title = "Headline";
+  headline.data = Dataset({ColumnSpec::str("Metric"),
+                           ColumnSpec::real("Value", 2)});
+  headline.data.add_row({std::string("sustained runs/s"),
+                         static_cast<double>(runs) / best_wall_s});
+  headline.data.add_row({std::string("artifact cache hit rate"), hit_rate});
+  headline.note =
+      "\nAll " + std::to_string(total_ok) +
+      " timed responses byte-identical to their warm-up baselines "
+      "(per grid key).\n";
+  report.sections.push_back(std::move(headline));
+
+  return emit_bench_report(report, args.get_string("format", "table"),
+                           args.get_string("out", ""));
+}

@@ -9,8 +9,11 @@
 
 #include "exp/report.hpp"
 #include "isa/machine_file.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
+#include "support/version.hpp"
 #include "testgen/fuzz_driver.hpp"
 
 namespace cvmt {
@@ -264,7 +267,16 @@ int usage(std::ostream& os, int code) {
         "      on the first invalid file).\n"
         "  cvmt fuzz [--cases=N] [--seed=S] [--shrink] [--flags]\n"
         "      Property-based differential fuzzing of the simulator's\n"
-        "      bit-identity contracts; `cvmt fuzz --help` for details.\n";
+        "      bit-identity contracts; `cvmt fuzz --help` for details.\n"
+        "  cvmt serve [--port=N] [--workers=K] [--queue=N]\n"
+        "      Long-lived experiment daemon: line-delimited JSON over\n"
+        "      TCP, warm artifact cache, bounded worker pool; SIGTERM\n"
+        "      drains gracefully. See DESIGN.md §11.\n"
+        "  cvmt client --port=N <--ping|--stats|--shutdown|...>\n"
+        "      Scripted client and load generator for `cvmt serve`;\n"
+        "      `cvmt client --help` for the actions.\n"
+        "  cvmt version\n"
+        "      Print the build's git revision, compiler and build type.\n";
   return code;
 }
 
@@ -493,6 +505,12 @@ int cvmt_main(int argc, const char* const* argv) {
   if (command == "run") return cvmt_run(argc - 1, argv + 1);
   if (command == "machines") return cvmt_machines(argc - 1, argv + 1);
   if (command == "fuzz") return fuzz_main(argc - 1, argv + 1);
+  if (command == "serve") return serve_main(argc - 1, argv + 1);
+  if (command == "client") return client_main(argc - 1, argv + 1);
+  if (command == "version" || command == "--version") {
+    std::cout << version_string() << '\n';
+    return 0;
+  }
   if (command == "help" || command == "--help" || command == "-h")
     return usage(std::cout, 0);
   std::cerr << "cvmt: unknown command '" << command << "'\n";

@@ -1,0 +1,80 @@
+#include "serve/worker_pool.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace cvmt {
+
+ServeWorkerPool::ServeWorkerPool(std::size_t workers, std::size_t capacity,
+                                 ArtifactCache& cache)
+    : cache_(cache), capacity_(capacity) {
+  CVMT_CHECK_MSG(workers >= 1, "serve pool needs at least one worker");
+  CVMT_CHECK_MSG(capacity >= 1, "serve queue needs capacity >= 1");
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back(&ServeWorkerPool::worker_loop, this, i);
+}
+
+ServeWorkerPool::~ServeWorkerPool() { drain(); }
+
+ServeWorkerPool::Submit ServeWorkerPool::try_submit(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Submit::kClosed;
+    if (queue_.size() >= capacity_) return Submit::kFull;
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return Submit::kAccepted;
+}
+
+std::size_t ServeWorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ServeWorkerPool::drain() {
+  // First caller performs the drain; concurrent callers block on the
+  // same once-flag until it completes, so "drain returned" always means
+  // "queue empty and workers joined" for every caller.
+  std::call_once(drain_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    CVMT_CHECK_MSG(queue_.empty(), "drained pool left jobs behind");
+    drained_ = true;
+  });
+}
+
+void ServeWorkerPool::worker_loop(std::size_t index) {
+  // One warm session per worker for the pool's whole lifetime: compiled
+  // artifacts come from the shared cache, SimInstances stay local and
+  // reset-in-place across requests.
+  SimSession session(cache_);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed_ && empty: clean drain exit
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      job(index, session);
+    } catch (const std::exception& e) {
+      // Jobs wrap their own error handling (the server responds with a
+      // structured "internal" error); this is the last line of defense
+      // keeping a worker thread alive no matter what escapes.
+      std::fprintf(stderr, "cvmt serve: worker %zu: uncaught: %s\n",
+                   index, e.what());
+    }
+  }
+}
+
+}  // namespace cvmt

@@ -1,0 +1,79 @@
+// The serve layer's bounded worker pool: an explicit admission queue in
+// front of K worker threads, each owning one warm SimSession bound to the
+// shared process-wide ArtifactCache.
+//
+// The shape follows clustermerge's MergeExecutor (SNIPPETS.md §3):
+// a concurrent queue feeding long-lived worker threads, per-item
+// completion signalled by the job itself (here: the worker writes the
+// response to the job's connection), and a clean drain on shutdown — stop
+// admission, let the workers empty the queue, join. Two deliberate
+// differences: admission is non-blocking with an explicit kFull outcome
+// (the server converts it into an "overloaded" + retry-after response
+// instead of stalling the connection reader), and drain() is an explicit
+// idempotent operation rather than destructor-only, because the server
+// must finish the drain *before* it closes client connections — that
+// ordering is what makes "zero lost jobs" true.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/session.hpp"
+
+namespace cvmt {
+
+class ServeWorkerPool {
+ public:
+  /// A job runs on one worker thread; it receives the worker index (for
+  /// metrics) and the worker's own SimSession (never shared between
+  /// workers — SimSession is not thread-safe; the ArtifactCache behind
+  /// it is, and is shared by all).
+  using Job = std::function<void(std::size_t worker, SimSession& session)>;
+
+  enum class Submit : std::uint8_t {
+    kAccepted,  ///< queued; the pool guarantees execution (even on drain)
+    kFull,      ///< queue at capacity — backpressure; nothing happened
+    kClosed,    ///< draining/closed; nothing happened
+  };
+
+  /// `workers` threads (>=1) over a queue of `capacity` (>=1) pending
+  /// jobs; artifacts shared through `cache`.
+  ServeWorkerPool(std::size_t workers, std::size_t capacity,
+                  ArtifactCache& cache);
+  ServeWorkerPool(const ServeWorkerPool&) = delete;
+  ServeWorkerPool& operator=(const ServeWorkerPool&) = delete;
+  ~ServeWorkerPool();
+
+  [[nodiscard]] Submit try_submit(Job job);
+
+  /// Stops admission, waits for every queued job to execute, joins the
+  /// workers. Idempotent; afterwards try_submit returns kClosed.
+  void drain();
+
+  [[nodiscard]] std::size_t num_workers() const { return threads_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  void worker_loop(std::size_t index);
+
+  ArtifactCache& cache_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job> queue_;
+  bool closed_ = false;
+
+  std::vector<std::thread> threads_;
+  std::once_flag drain_once_;
+  bool drained_ = false;  ///< guarded by mu_; drain() ran to completion
+};
+
+}  // namespace cvmt

@@ -107,38 +107,72 @@ std::string CompiledScheme::make_key(const Scheme& scheme,
 
 // --- ArtifactCache --------------------------------------------------------
 
+template <typename T, typename Builder>
+std::shared_ptr<const T> ArtifactCache::lookup_or_build(
+    SlotMap<T>& entries, const std::string& key, std::uint64_t* hits,
+    std::uint64_t* misses, Builder&& build) {
+  std::shared_ptr<Slot<T>> slot;
+  std::promise<std::shared_ptr<const T>> promise;
+  std::function<void(std::string_view)> hook;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = entries.find(key); it != entries.end()) {
+      ++*hits;
+      slot = it->second;
+    } else {
+      ++*misses;
+      builder = true;
+      slot = std::make_shared<Slot<T>>();
+      slot->future = promise.get_future().share();
+      entries.emplace(key, slot);
+      hook = build_hook_;
+    }
+  }
+  if (!builder) return slot->future.get();  // waits on an in-flight build
+
+  // Build outside the cache mutex: misses on *other* keys proceed in
+  // parallel; misses on this key block on the future installed above.
+  try {
+    if (hook) hook(key);
+    std::shared_ptr<const T> built = build();
+    promise.set_value(built);
+    return built;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mu_);
+    // Evict only our own slot — a clear() may have dropped it already
+    // and a successor entry must not be collateral damage.
+    if (auto it = entries.find(key);
+        it != entries.end() && it->second == slot)
+      entries.erase(it);
+    throw;
+  }
+}
+
 std::shared_ptr<const CompiledScheme> ArtifactCache::scheme(
     const Scheme& scheme, const MachineConfig& machine) {
   const std::string key = CompiledScheme::make_key(scheme, machine);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto it = schemes_.find(key); it != schemes_.end()) return it->second;
-  auto compiled = std::make_shared<const CompiledScheme>(scheme, machine);
-  schemes_.emplace(key, compiled);
-  return compiled;
-}
-
-std::shared_ptr<const SyntheticProgram> ArtifactCache::program_locked(
-    const BenchmarkProfile& profile, const MachineConfig& machine) {
-  const std::string key = profile_program_key(profile, machine);
-  if (auto it = programs_.find(key); it != programs_.end())
-    return it->second;
-  auto program =
-      std::make_shared<const SyntheticProgram>(profile, machine);
-  programs_.emplace(key, program);
-  return program;
+  return lookup_or_build(schemes_, key, &stats_.scheme_hits,
+                         &stats_.scheme_misses, [&] {
+                           return std::make_shared<const CompiledScheme>(
+                               scheme, machine);
+                         });
 }
 
 std::shared_ptr<const SyntheticProgram> ArtifactCache::program(
     const BenchmarkProfile& profile, const MachineConfig& machine) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return program_locked(profile, machine);
+  const std::string key = profile_program_key(profile, machine);
+  return lookup_or_build(programs_, key, &stats_.program_hits,
+                         &stats_.program_misses, [&] {
+                           return std::make_shared<const SyntheticProgram>(
+                               profile, machine);
+                         });
 }
 
 std::shared_ptr<const SyntheticProgram> ArtifactCache::program(
     std::string_view benchmark, const MachineConfig& machine) {
-  const BenchmarkProfile& profile = profile_by_name(benchmark);
-  std::lock_guard<std::mutex> lock(mu_);
-  return program_locked(profile, machine);
+  return program(profile_by_name(benchmark), machine);
 }
 
 std::shared_ptr<const CompiledWorkload> ArtifactCache::workload(
@@ -151,18 +185,19 @@ std::shared_ptr<const CompiledWorkload> ArtifactCache::workload(
   key += '@';
   append_machine(key, machine);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto it = workloads_.find(key); it != workloads_.end())
-    return it->second;
-  auto compiled = std::make_shared<CompiledWorkload>();
-  compiled->key = key;
-  compiled->programs.reserve(benchmarks.size());
-  for (const std::string& b : benchmarks)
-    compiled->programs.push_back(
-        program_locked(profile_by_name(b), machine));
-  std::shared_ptr<const CompiledWorkload> shared = std::move(compiled);
-  workloads_.emplace(std::move(key), shared);
-  return shared;
+  // The workload build pulls its member programs through program(), so a
+  // cold workload's programs build under their own per-key locks — two
+  // cold workloads sharing a program share its one build too.
+  return lookup_or_build(
+      workloads_, key, &stats_.workload_hits, &stats_.workload_misses,
+      [&]() -> std::shared_ptr<const CompiledWorkload> {
+        auto compiled = std::make_shared<CompiledWorkload>();
+        compiled->key = key;
+        compiled->programs.reserve(benchmarks.size());
+        for (const std::string& b : benchmarks)
+          compiled->programs.push_back(program(b, machine));
+        return compiled;
+      });
 }
 
 void ArtifactCache::clear() {
@@ -175,6 +210,17 @@ void ArtifactCache::clear() {
 std::size_t ArtifactCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return schemes_.size() + programs_.size() + workloads_.size();
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ArtifactCache::set_build_hook(
+    std::function<void(std::string_view)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  build_hook_ = std::move(hook);
 }
 
 ArtifactCache& ArtifactCache::global() {

@@ -24,6 +24,8 @@
 // SimInstance.
 #pragma once
 
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -83,12 +85,45 @@ struct CompiledWorkload {
   std::vector<std::shared_ptr<const SyntheticProgram>> programs;
 };
 
+/// Lookup/build counters of one ArtifactCache, per artifact kind. A hit
+/// is any lookup that found an entry — including one whose build was
+/// still in flight on another thread (the caller waits on the same
+/// build, it does not run a second one).
+struct ArtifactCacheStats {
+  std::uint64_t scheme_hits = 0;
+  std::uint64_t scheme_misses = 0;
+  std::uint64_t program_hits = 0;
+  std::uint64_t program_misses = 0;
+  std::uint64_t workload_hits = 0;
+  std::uint64_t workload_misses = 0;
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return scheme_hits + program_hits + workload_hits;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return scheme_misses + program_misses + workload_misses;
+  }
+  /// Hits / lookups; 0.0 before the first lookup.
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits() + misses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits()) /
+                            static_cast<double>(total);
+  }
+};
+
 /// Thread-safe cache of compiled artifacts, shared across sweep workers
 /// (replacing the per-runner ProgramLibrary copies). Keys are canonical —
 /// schemes by name + tree + machine, programs by full profile content +
 /// machine — so any two requests for the same logical artifact share one
-/// build. Artifacts are immutable; the mutex only serialises map access
-/// and the (rare) build of a missing entry.
+/// build.
+///
+/// Builds are serialized *per key*, not cache-wide: a miss installs a
+/// shared_future under the cache mutex, then builds outside it, so
+/// concurrent misses on distinct keys build in parallel while concurrent
+/// misses on the same key share the one build (latecomers block on the
+/// future). A build that throws propagates to every waiter and evicts
+/// the entry, so a later request retries instead of caching the failure.
 class ArtifactCache {
  public:
   ArtifactCache() = default;
@@ -118,25 +153,48 @@ class ArtifactCache {
   /// Drops every cached artifact (outstanding shared_ptrs stay valid).
   void clear();
 
-  /// Total number of cached artifacts (schemes + programs + workloads).
+  /// Total number of cached artifacts (schemes + programs + workloads),
+  /// counting entries whose build is still in flight.
   [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of the hit/miss counters (never reset by clear() — they
+  /// describe the cache's lifetime, not its current contents).
+  [[nodiscard]] ArtifactCacheStats stats() const;
+
+  /// Test instrumentation: `hook(key)` runs on the building thread for
+  /// every miss, outside the cache mutex, before the build starts. The
+  /// concurrency tests use it to hold two builders mid-build and prove
+  /// distinct keys overlap. Pass nullptr to remove.
+  void set_build_hook(std::function<void(std::string_view)> hook);
 
   /// The process-wide cache the experiment layer shares across sweeps.
   [[nodiscard]] static ArtifactCache& global();
 
  private:
-  [[nodiscard]] std::shared_ptr<const SyntheticProgram> program_locked(
-      const BenchmarkProfile& profile, const MachineConfig& machine);
+  /// One cache entry: the future every requester of the key shares. The
+  /// slot object identity lets the failure path evict exactly its own
+  /// entry (never a successor installed after a clear()).
+  template <typename T>
+  struct Slot {
+    std::shared_future<std::shared_ptr<const T>> future;
+  };
+  template <typename T>
+  using SlotMap =
+      std::map<std::string, std::shared_ptr<Slot<T>>, std::less<>>;
+
+  /// The per-key build protocol (see the class comment). `build` runs
+  /// outside the cache mutex on the missing thread only.
+  template <typename T, typename Builder>
+  [[nodiscard]] std::shared_ptr<const T> lookup_or_build(
+      SlotMap<T>& entries, const std::string& key, std::uint64_t* hits,
+      std::uint64_t* misses, Builder&& build);
 
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const CompiledScheme>, std::less<>>
-      schemes_;
-  std::map<std::string, std::shared_ptr<const SyntheticProgram>,
-           std::less<>>
-      programs_;
-  std::map<std::string, std::shared_ptr<const CompiledWorkload>,
-           std::less<>>
-      workloads_;
+  SlotMap<CompiledScheme> schemes_;
+  SlotMap<SyntheticProgram> programs_;
+  SlotMap<CompiledWorkload> workloads_;
+  ArtifactCacheStats stats_;
+  std::function<void(std::string_view)> build_hook_;
 };
 
 /// One reusable simulation: the run-state half of the build/run split.

@@ -1,0 +1,35 @@
+#include "support/version.hpp"
+
+namespace cvmt {
+
+#ifndef CVMT_GIT_DESCRIBE
+#define CVMT_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CVMT_BUILD_TYPE
+#define CVMT_BUILD_TYPE "unspecified"
+#endif
+
+const char* git_describe() { return CVMT_GIT_DESCRIBE; }
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown compiler";
+#endif
+}
+
+const char* build_type() { return CVMT_BUILD_TYPE; }
+
+std::string version_string() {
+  return std::string("cvmt ") + git_describe() + " (" + compiler_id() +
+         ", " + build_type() + ")";
+}
+
+}  // namespace cvmt

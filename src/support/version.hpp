@@ -1,0 +1,26 @@
+// Build identification for logs and bug reports: `cvmt --version`, the
+// serve daemon's startup banner, and the stats response all print this.
+// The git describe string and build type are injected at CMake configure
+// time (see the CVMT_GIT_DESCRIBE / CVMT_BUILD_TYPE definitions on
+// version.cpp in CMakeLists.txt); the compiler identifies itself via
+// predefined macros, so the string is honest even under ccache.
+#pragma once
+
+#include <string>
+
+namespace cvmt {
+
+/// "git <describe>" — "unknown" when the source tree was not a git
+/// checkout at configure time.
+[[nodiscard]] const char* git_describe();
+
+/// Compiler id and version, e.g. "gcc 13.2.0" or "clang 17.0.6".
+[[nodiscard]] std::string compiler_id();
+
+/// CMake build type, e.g. "Release"; "unspecified" in multi-config builds.
+[[nodiscard]] const char* build_type();
+
+/// One line for banners: "cvmt <git> (<compiler>, <build type>)".
+[[nodiscard]] std::string version_string();
+
+}  // namespace cvmt

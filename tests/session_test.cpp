@@ -5,7 +5,11 @@
 // SimResult counter).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -268,6 +272,106 @@ TEST(SimSession, ClearDropsInstancesButKeepsCorrectness) {
   EXPECT_EQ(session.num_instances(), 0u);
   const SimResult b = session.run(Scheme::parse("2SS"), lmhh_names(), cfg);
   EXPECT_EQ(compare_sim_results(a, b, true), "");
+}
+
+// --- per-key build locks --------------------------------------------------
+
+TEST(ArtifactCache, CountsHitsAndMisses) {
+  ArtifactCache cache;
+  (void)cache.scheme(Scheme::parse("2SC3"), kM);
+  (void)cache.scheme(Scheme::parse("2SC3"), kM);
+  (void)cache.scheme(Scheme::parse("3SCC"), kM);
+  (void)cache.program("mcf", kM);
+  (void)cache.program("mcf", kM);
+  const ArtifactCacheStats s = cache.stats();
+  EXPECT_EQ(s.scheme_misses, 2u);
+  EXPECT_EQ(s.scheme_hits, 1u);
+  EXPECT_EQ(s.program_misses, 1u);
+  EXPECT_EQ(s.program_hits, 1u);
+  EXPECT_EQ(s.hits(), 2u);
+  EXPECT_EQ(s.misses(), 3u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 2.0 / 5.0);
+  // clear() drops artifacts, not the lifetime counters.
+  cache.clear();
+  EXPECT_EQ(cache.stats().misses(), 3u);
+}
+
+// The satellite property of this PR: two cold misses on *distinct* keys
+// build concurrently instead of serializing on a cache-wide lock. The
+// build hook holds each builder until both have entered their build —
+// possible only when the builds overlap; a cache-wide build lock would
+// deadlock here (and the watchdog would flag it).
+TEST(ArtifactCache, DistinctColdKeysBuildConcurrently) {
+  ArtifactCache cache;
+  std::mutex mu;
+  std::condition_variable cv;
+  int builders_in_flight = 0;
+  cache.set_build_hook([&](std::string_view) {
+    std::unique_lock<std::mutex> lock(mu);
+    ++builders_in_flight;
+    cv.notify_all();
+    // Wait (bounded) for the *other* builder to arrive as well.
+    cv.wait_for(lock, std::chrono::seconds(10),
+                [&] { return builders_in_flight >= 2; });
+  });
+
+  auto build_a = std::async(std::launch::async, [&] {
+    return cache.scheme(Scheme::parse("2SC3"), kM);
+  });
+  auto build_b = std::async(std::launch::async, [&] {
+    return cache.program("mcf", kM);
+  });
+  {
+    // Observe genuine overlap: both builders inside their build hook at
+    // the same moment.
+    std::unique_lock<std::mutex> lock(mu);
+    EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return builders_in_flight >= 2; }));
+  }
+  EXPECT_NE(build_a.get(), nullptr);
+  EXPECT_NE(build_b.get(), nullptr);
+  cache.set_build_hook(nullptr);
+  EXPECT_EQ(cache.stats().misses(), 2u);
+}
+
+// Concurrent misses on the SAME key run exactly one build; the latecomer
+// blocks on the first build's future and shares its artifact.
+TEST(ArtifactCache, SameColdKeyBuildsOnce) {
+  ArtifactCache cache;
+  std::atomic<int> builds{0};
+  cache.set_build_hook([&](std::string_view) {
+    ++builds;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  auto a = std::async(std::launch::async, [&] {
+    return cache.scheme(Scheme::parse("2SC3"), kM);
+  });
+  auto b = std::async(std::launch::async, [&] {
+    return cache.scheme(Scheme::parse("2SC3"), kM);
+  });
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(builds.load(), 1);
+  const ArtifactCacheStats s = cache.stats();
+  EXPECT_EQ(s.scheme_misses + s.scheme_hits, 2u);
+  EXPECT_EQ(s.scheme_misses, 1u);
+}
+
+// A build that throws must propagate to every waiter and evict the
+// entry so the next request retries (a cached failure would wedge the
+// key forever).
+TEST(ArtifactCache, FailedBuildEvictsAndRetries) {
+  ArtifactCache cache;
+  bool fail_next = true;
+  cache.set_build_hook([&](std::string_view) {
+    if (fail_next) {
+      fail_next = false;
+      throw CheckError("injected build failure");
+    }
+  });
+  EXPECT_THROW((void)cache.scheme(Scheme::parse("2SC3"), kM), CheckError);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_NE(cache.scheme(Scheme::parse("2SC3"), kM), nullptr);
+  cache.set_build_hook(nullptr);
 }
 
 }  // namespace
