@@ -5,6 +5,7 @@
 
 #include "sim/batch_engine.hpp"
 #include "sim/session.hpp"
+#include "store/sweep_store.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -23,7 +24,14 @@ SimSession& session_for_this_thread() {
   return session;
 }
 
-SimResult run_one(const BatchJob& job, SimSession& session) {
+SimResult run_one(const BatchJob& job, SimSession& session,
+                  SweepStore* store) {
+  if (store != nullptr)
+    return store->run_point(job, [&job, &session] {
+      return session.run(job.scheme,
+                         std::span<const std::string>(job.benchmarks),
+                         job.sim);
+    });
   return session.run(job.scheme,
                      std::span<const std::string>(job.benchmarks), job.sim);
 }
@@ -76,12 +84,16 @@ std::vector<SimResult> run_batch(std::span<const BatchJob> jobs,
                                  const BatchOptions& opts) {
   std::vector<SimResult> results(jobs.size());
   const unsigned workers = resolve_workers(opts, jobs.size());
-  const unsigned lanes = opts.lanes == 0 ? 1u : opts.lanes;
+  // The store mediates per job (skip/load/append around each point), so
+  // it rides the session path; lanes>1 would simulate a whole lockstep
+  // group before any store decision. Results are bit-identical anyway.
+  const unsigned lanes =
+      opts.store != nullptr ? 1u : (opts.lanes == 0 ? 1u : opts.lanes);
   if (workers <= 1) {
     if (lanes <= 1) {
       SimSession& session = session_for_this_thread();
       for (std::size_t i = 0; i < jobs.size(); ++i)
-        results[i] = run_one(jobs[i], session);
+        results[i] = run_one(jobs[i], session, opts.store);
     } else {
       run_jobs_batched(jobs, results, lanes);
     }
@@ -95,9 +107,11 @@ std::vector<SimResult> run_batch(std::span<const BatchJob> jobs,
   std::vector<std::future<void>> pending;
   if (lanes <= 1) {
     pending.reserve(jobs.size());
+    SweepStore* const store = opts.store;
     for (std::size_t i = 0; i < jobs.size(); ++i)
-      pending.push_back(pool.submit([&jobs, &results, i] {
-        results[i] = run_one(jobs[i], session_for_this_thread());
+      pending.push_back(pool.submit([&jobs, &results, store, i] {
+        results[i] =
+            run_one(jobs[i], session_for_this_thread(), store);
       }));
   } else {
     // Contiguous per-worker job ranges, each drained by one SimBatch.

@@ -21,6 +21,8 @@
 
 namespace cvmt {
 
+class SweepStore;
+
 /// One independent simulation job. `benchmarks` are Table 1 names, one
 /// per software thread (a Table 2 workload row contributes its four).
 struct BatchJob {
@@ -45,6 +47,14 @@ struct BatchOptions {
   /// >1 routes each worker's contiguous job range through a SimBatch.
   /// Results are bit-identical for any lane count.
   unsigned lanes = 1;
+  /// When set, every job is mediated by the on-disk result store
+  /// (src/store/sweep_store.hpp): points outside the store's shard are
+  /// skipped (their results default-constructed), already-stored points
+  /// are served from the logs without simulating, and fresh results are
+  /// appended before they return. The store forces the per-job session
+  /// path (`lanes` is ignored; results are bit-identical either way).
+  /// Not owned; must outlive the run_batch call.
+  SweepStore* store = nullptr;
 };
 
 /// The worker count `opts` resolves to for a batch of `num_jobs` jobs

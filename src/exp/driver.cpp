@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -11,6 +12,7 @@
 #include "isa/machine_file.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "store/sweep_store.hpp"
 #include "support/check.hpp"
 #include "support/table.hpp"
 #include "support/version.hpp"
@@ -169,7 +171,10 @@ ParamKind param_kind_of_flag(std::string_view flag) {
 void warn_flags_outside_schema(const Experiment& experiment,
                                const ArgParser& parser) {
   for (const std::string& flag : parser.cli_set_names()) {
-    if (flag == "format" || flag == "out") continue;
+    // format/out/store/shard are driver-level, not experiment schema.
+    if (flag == "format" || flag == "out" || flag == "store" ||
+        flag == "shard")
+      continue;
     if (!experiment.in_schema(param_kind_of_flag(flag)))
       std::fprintf(stderr,
                    "cvmt: experiment '%s' does not consume --%s "
@@ -250,17 +255,103 @@ int run_and_print(const Experiment& experiment,
   return result.ok ? 0 : 1;
 }
 
+void print_dataset(std::ostream& os, const Dataset& d,
+                   OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable: d.to_table().print(os); break;
+    case OutputFormat::kCsv: d.write_csv(os); break;
+    case OutputFormat::kJson:
+      d.to_json().write(os);
+      os << '\n';
+      break;
+  }
+}
+
+/// What a sharded run prints instead of the experiment result: the shard
+/// cannot render derived sections (they fold over other shards' points),
+/// so it reports what it contributed to the store.
+void print_shard_summary(std::ostream& os, const Experiment& experiment,
+                         const ExperimentParams& params,
+                         const SweepStore& store, OutputFormat format) {
+  const SweepStore::Counters c = store.counters();
+  Dataset d({ColumnSpec::str("Metric"), ColumnSpec::str("Value")});
+  d.add_row({"experiment", experiment.id});
+  d.add_row({"store", store.dir()});
+  d.add_row({"shard", std::to_string(params.shard_index) + "/" +
+                          std::to_string(params.shard_count)});
+  d.add_row({"grid_points", std::to_string(c.total)});
+  d.add_row({"computed", std::to_string(c.computed)});
+  d.add_row({"resumed", std::to_string(c.resumed)});
+  d.add_row({"skipped_other_shards", std::to_string(c.skipped)});
+  d.add_row({"store_points",
+             std::to_string(store.loaded_points() + c.computed)});
+  print_dataset(os, d, format);
+}
+
+/// run_and_print with the --store sweep semantics layered on top (see
+/// DESIGN.md §12). Opens the store, plants it in the batch options, and:
+///   n == 1: a resumable run — the store sees the whole grid, so the
+///           normal experiment output prints (and reruns are served from
+///           the logs without simulating).
+///   n  > 1: a shard — grid points land in the shard's log as computed;
+///           derived sections (speedups, averages) would fold over other
+///           shards' absent points, so a CheckError out of the run is
+///           expected on a partial grid: it is reported as a note and the
+///           shard summary prints instead. A failure inside a simulation
+///           itself (counters.failed > 0) stays a hard error.
+int run_with_optional_store(const Experiment& experiment,
+                            ExperimentParams& params, OutputFormat format,
+                            std::ostream& os, std::string_view who) {
+  if (params.store_dir.empty())
+    return run_and_print(experiment, params, format, os);
+  std::unique_ptr<SweepStore> store;
+  try {
+    store = SweepStore::open_shard(
+        params.store_dir,
+        ShardSpec{params.shard_index, params.shard_count},
+        params.to_manifest_json(experiment.id, params.shard_count));
+  } catch (const CheckError& e) {
+    std::cerr << who << ": " << e.what() << '\n';
+    return 2;
+  }
+  params.cfg.batch.store = store.get();
+  if (params.shard_count == 1)
+    return run_and_print(experiment, params, format, os);
+  try {
+    (void)experiment.run(RunContext{params});
+  } catch (const CheckError& e) {
+    if (store->counters().failed > 0) {
+      std::cerr << who << ": " << e.what() << '\n';
+      return 1;
+    }
+    std::cerr << who
+              << ": note: derived sections skipped on this partial grid "
+                 "(expected under --shard; `cvmt merge` renders them): "
+              << e.what() << '\n';
+  }
+  print_shard_summary(os, experiment, params, *store, format);
+  return 0;
+}
+
 int usage(std::ostream& os, int code) {
   os << "usage:\n"
         "  cvmt list [--format=table|csv|json]\n"
         "      List every registered experiment with its paper artifact\n"
         "      and declared parameter schema.\n"
         "  cvmt run <id|all> [--flags] [--format=table|csv|json]\n"
-        "           [--out=FILE]\n"
+        "           [--out=FILE] [--store=DIR [--shard=k/n]]\n"
         "      Run one experiment (or every one) and print its result\n"
         "      (--out writes the same bytes to FILE instead of stdout).\n"
+        "      With --store, completed grid points persist to crash-safe\n"
+        "      shard logs in DIR and are never recomputed (resume =\n"
+        "      rerun); --shard=k/n computes only shard k's partition.\n"
         "      `cvmt run <id> --help` lists the flags; each layers over\n"
         "      its CVMT_* environment variable.\n"
+        "  cvmt merge --store=DIR [--format=...] [--out=FILE]\n"
+        "      Fold the shard logs of a --store sweep into the full\n"
+        "      experiment result — byte-identical to the unsharded run.\n"
+        "      Errors with the exact resume command if a point is\n"
+        "      missing. See DESIGN.md §12.\n"
         "  cvmt machines [FILE.machine ...]\n"
         "      List the built-in machine descriptions; with file\n"
         "      arguments, parse and validate each .machine file (exit 1\n"
@@ -411,6 +502,11 @@ int cvmt_run(int argc, const char* const* argv) {
                 << "' (try `cvmt list`)\n";
       return 2;
     }
+  } else if (!params.store_dir.empty()) {
+    // A store directory binds one experiment (one manifest, one grid).
+    std::cerr << "cvmt run: --store needs a single experiment id, not "
+                 "'all' (one store directory per experiment)\n";
+    return 2;
   }
   const std::string out_path = parser.get_string("out", "");
   if (!out_path.empty() && !probe_out(out_path, "cvmt run")) return 2;
@@ -447,9 +543,75 @@ int cvmt_run(int argc, const char* const* argv) {
     code = ok ? 0 : 1;
   } else {
     warn_flags_outside_schema(*experiment, parser);
-    code = run_and_print(*experiment, params, format, os);
+    code = run_with_optional_store(*experiment, params, format, os,
+                                   "cvmt run");
   }
   if (!out_path.empty() && !commit_out(out_path, buffer, "cvmt run"))
+    return 1;
+  return code;
+}
+
+/// `cvmt merge --store=DIR`: replays the stored sweep. The experiment id
+/// and every sweep-defining parameter come from the manifest alone (not
+/// flags, not CVMT_* environment), so the fold is reproducible from the
+/// directory by itself.
+int cvmt_merge(int argc, const char* const* argv) {
+  ArgParser parser(
+      "cvmt merge",
+      "Folds the shard logs of a --store sweep into the full experiment "
+      "result; table/CSV/JSON bytes are identical to the unsharded run.");
+  parser.add_string("store", "dir",
+                    "The store directory the shard runs wrote.",
+                    "CVMT_STORE");
+  add_format_flag(parser);
+  add_out_flag(parser);
+  switch (parser.parse(argc, argv)) {
+    case ArgParser::Outcome::kHelp: return 0;
+    case ArgParser::Outcome::kError: return 2;
+    case ArgParser::Outcome::kOk: break;
+  }
+  const std::string dir = parser.get_string("store", "");
+  if (dir.empty()) {
+    std::cerr << "cvmt merge: --store=DIR is required (try `cvmt merge "
+                 "--help`)\n";
+    return 2;
+  }
+
+  std::unique_ptr<SweepStore> store;
+  std::string id;
+  ExperimentParams params;
+  try {
+    store = SweepStore::open_merge(dir);
+    params = ExperimentParams::from_manifest_json(store->manifest(), &id);
+  } catch (const CheckError& e) {
+    std::cerr << "cvmt merge: " << e.what() << '\n';
+    return 2;
+  }
+  const Experiment* experiment = ExperimentRegistry::instance().find(id);
+  if (experiment == nullptr) {
+    std::cerr << "cvmt merge: manifest names unknown experiment '" << id
+              << "'\n";
+    return 2;
+  }
+  params.cfg.batch.store = store.get();
+
+  const OutputFormat format =
+      format_from_string(parser.get_string("format", "table"));
+  const std::string out_path = parser.get_string("out", "");
+  if (!out_path.empty() && !probe_out(out_path, "cvmt merge")) return 2;
+  std::ostringstream buffer;
+  std::ostream& os =
+      out_path.empty() ? static_cast<std::ostream&>(std::cout) : buffer;
+  int code;
+  try {
+    code = run_and_print(*experiment, params, format, os);
+  } catch (const CheckError& e) {
+    // The expected operational failure: a shard has not finished. The
+    // message names the exact resume command.
+    std::cerr << "cvmt merge: " << e.what() << '\n';
+    return 1;
+  }
+  if (!out_path.empty() && !commit_out(out_path, buffer, "cvmt merge"))
     return 1;
   return code;
 }
@@ -491,9 +653,9 @@ int run_experiment_main(std::string_view id, int argc,
   std::ostream& os =
       out_path.empty() ? static_cast<std::ostream&>(std::cout) : buffer;
   warn_flags_outside_schema(*experiment, parser);
-  const int code = run_and_print(
+  const int code = run_with_optional_store(
       *experiment, params,
-      format_from_string(parser.get_string("format", "table")), os);
+      format_from_string(parser.get_string("format", "table")), os, who);
   if (!out_path.empty() && !commit_out(out_path, buffer, who)) return 1;
   return code;
 }
@@ -503,6 +665,7 @@ int cvmt_main(int argc, const char* const* argv) {
   const std::string_view command = argv[1];
   if (command == "list") return cvmt_list(argc - 1, argv + 1);
   if (command == "run") return cvmt_run(argc - 1, argv + 1);
+  if (command == "merge") return cvmt_merge(argc - 1, argv + 1);
   if (command == "machines") return cvmt_machines(argc - 1, argv + 1);
   if (command == "fuzz") return fuzz_main(argc - 1, argv + 1);
   if (command == "serve") return serve_main(argc - 1, argv + 1);

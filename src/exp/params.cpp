@@ -6,6 +6,7 @@
 
 #include "core/scheme.hpp"
 #include "isa/machine_file.hpp"
+#include "store/result_store.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
 #include "support/string_util.hpp"
@@ -65,6 +66,19 @@ void ExperimentParams::add_standard_flags(ArgParser& parser) {
                     "memory system and switch policy together; conflicts "
                     "with --clusters/--issue.",
                     "CVMT_MACHINE");
+  parser.add_string("store", "dir",
+                    "On-disk result store: completed grid points append "
+                    "to crash-safe shard logs in DIR, already-stored "
+                    "points are never recomputed (resume = rerun the same "
+                    "command), and `cvmt merge --store DIR` folds the "
+                    "logs into the full result. See DESIGN.md §12.",
+                    "CVMT_STORE");
+  parser.add_string("shard", "k/n",
+                    "With --store: compute only the grid points whose key "
+                    "hashes to shard k of n (0 <= k < n). Each shard of a "
+                    "partition can run in its own process or on its own "
+                    "machine against a shared DIR.",
+                    "CVMT_SHARD");
 }
 
 namespace {
@@ -147,6 +161,19 @@ ExperimentParams ExperimentParams::resolve(const ArgParser& parser) {
                                  static_cast<int>(issue ? issue : 4));
   }
 
+  // Store and shard, validated eagerly like lanes: a malformed CVMT_SHARD
+  // must fail up front, not silently compute the whole grid.
+  p.store_dir = parser.get_string("store", "");
+  const std::string shard = parser.get_string("shard", "");
+  if (!shard.empty()) {
+    CVMT_CHECK_MSG(!p.store_dir.empty(),
+                   "--shard requires --store (the shard logs need a "
+                   "directory)");
+    const ShardSpec spec = parse_shard_spec(shard);
+    p.shard_index = spec.index;
+    p.shard_count = spec.count;
+  }
+
   // Filters, validated eagerly so a typo fails before hours of sweep.
   p.schemes = parse_list(parser.get_string("schemes", ""));
   for (const std::string& s : p.schemes) (void)Scheme::parse(s);
@@ -159,6 +186,80 @@ ExperimentParams ExperimentParams::resolve(const ArgParser& parser) {
                               "\" (expected a Table 2 ILP combo such as "
                               "LLHH)");
   }
+  return p;
+}
+
+JsonValue ExperimentParams::to_manifest_json(std::string_view experiment,
+                                             unsigned shard_count) const {
+  JsonValue out = JsonValue::object();
+  out.set("version", 1);
+  out.set("experiment", std::string(experiment));
+  out.set("shards", static_cast<std::uint64_t>(shard_count));
+  out.set("fast", fast);
+  out.set("budget", cfg.sim.instruction_budget);
+  out.set("timeslice", cfg.sim.timeslice_cycles);
+  out.set("stats",
+          cfg.sim.stats == StatsLevel::kFull ? "full" : "fast");
+  JsonValue scheme_arr = JsonValue::array();
+  for (const std::string& s : schemes) scheme_arr.push_back(s);
+  out.set("schemes", std::move(scheme_arr));
+  JsonValue workload_arr = JsonValue::array();
+  for (const std::string& w : workloads) workload_arr.push_back(w);
+  out.set("workloads", std::move(workload_arr));
+  JsonValue machine = JsonValue::object();
+  if (!machine_spec.empty()) {
+    // The spec re-resolves at merge time; a .machine file must not change
+    // between shard runs and the merge (the point keys would disagree and
+    // the merge would report missing points).
+    machine.set("spec", machine_spec);
+  } else if (!(cfg.sim.machine == MachineConfig::vex4x4())) {
+    // Without a spec the only non-default shapes resolve() can produce
+    // are the homogeneous --clusters/--issue ones.
+    machine.set("clusters", cfg.sim.machine.num_clusters);
+    machine.set("issue", cfg.sim.machine.issue_per_cluster);
+  }
+  out.set("machine", std::move(machine));
+  return out;
+}
+
+ExperimentParams ExperimentParams::from_manifest_json(
+    const JsonValue& manifest, std::string* experiment_out) {
+  CVMT_CHECK_MSG(manifest.get("version").as_int() == 1,
+                 "store manifest version " +
+                     std::to_string(manifest.get("version").as_int()) +
+                     " is newer than this build understands");
+  if (experiment_out != nullptr)
+    *experiment_out = manifest.get("experiment").as_string();
+  ExperimentParams p;
+  p.fast = manifest.get("fast").as_bool();
+  p.cfg.sim.instruction_budget =
+      static_cast<std::uint64_t>(manifest.get("budget").as_int());
+  p.cfg.sim.timeslice_cycles =
+      static_cast<std::uint64_t>(manifest.get("timeslice").as_int());
+  p.cfg.sim.stats = manifest.get("stats").as_string() == "full"
+                        ? StatsLevel::kFull
+                        : StatsLevel::kFast;
+  const JsonValue& machine = manifest.get("machine");
+  if (const JsonValue* spec = machine.find("spec"); spec != nullptr) {
+    const MachineDescription md = resolve_machine(spec->as_string());
+    p.cfg.sim.machine = md.machine;
+    p.cfg.sim.mem = md.mem;
+    p.cfg.sim.switch_policy = md.switch_policy;
+    p.machine_spec = spec->as_string();
+  } else if (const JsonValue* clusters = machine.find("clusters");
+             clusters != nullptr) {
+    p.cfg.sim.machine = MachineConfig::clustered(
+        static_cast<int>(clusters->as_int()),
+        static_cast<int>(machine.get("issue").as_int()));
+  }
+  const JsonValue& scheme_arr = manifest.get("schemes");
+  for (std::size_t i = 0; i < scheme_arr.size(); ++i)
+    p.schemes.push_back(scheme_arr.at(i).as_string());
+  const JsonValue& workload_arr = manifest.get("workloads");
+  for (std::size_t i = 0; i < workload_arr.size(); ++i)
+    p.workloads.push_back(workload_arr.at(i).as_string());
+  // shard_index/count stay 0/1: the replay run sees the whole grid (the
+  // SweepStore carries the manifest's shard count for its diagnostics).
   return p;
 }
 

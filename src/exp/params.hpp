@@ -25,6 +25,7 @@
 
 #include "exp/experiments.hpp"
 #include "support/args.hpp"
+#include "support/json.hpp"
 
 namespace cvmt {
 
@@ -59,6 +60,15 @@ struct ExperimentParams {
   /// --issue. Machine-readable output echoes it only when set, keeping
   /// default runs byte-identical.
   std::string machine_spec;
+  /// The --store/CVMT_STORE directory of a sharded/resumable sweep;
+  /// empty = no store. Only the driver acts on it (it opens the
+  /// SweepStore and plants it in cfg.batch.store); for every other
+  /// consumer the field is inert.
+  std::string store_dir;
+  /// The parsed --shard/CVMT_SHARD spec; 0/1 (the whole grid) unless a
+  /// store run asked for a partition. Validated eagerly by resolve().
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
 
   /// Declares the standard experiment flags on `parser` (all of them;
   /// whether an experiment consumes a knob is the schema's concern).
@@ -71,6 +81,21 @@ struct ExperimentParams {
   /// Environment-only resolution (the ExperimentConfig::from_env
   /// equivalent, plus filters from CVMT_SCHEMES/CVMT_WORKLOADS).
   [[nodiscard]] static ExperimentParams from_env();
+
+  /// The store manifest describing this parameter set for `experiment`
+  /// sharded `shard_count` ways: everything a later resume or merge needs
+  /// to reconstruct the exact sweep (fast scale, budgets, stats level,
+  /// filters, machine shape). Workers and lanes are excluded — execution
+  /// details, bit-identical results for any value.
+  [[nodiscard]] JsonValue to_manifest_json(std::string_view experiment,
+                                           unsigned shard_count) const;
+
+  /// Inverse of to_manifest_json: rebuilds the resolved parameter set a
+  /// manifest describes (`cvmt merge` runs the experiment under these,
+  /// reproducing the unsharded output bytes). Returns the experiment id
+  /// through `experiment_out`.
+  [[nodiscard]] static ExperimentParams from_manifest_json(
+      const JsonValue& manifest, std::string* experiment_out);
 };
 
 }  // namespace cvmt

@@ -29,4 +29,9 @@ std::vector<ParamKind> sim_schema() {
           ParamKind::kStats, ParamKind::kMachine};
 }
 
+bool partial_grid(const RunContext& ctx) {
+  return ctx.params.cfg.batch.store != nullptr &&
+         ctx.params.shard_count > 1;
+}
+
 }  // namespace cvmt::runners

@@ -22,4 +22,13 @@ namespace cvmt::runners {
 /// workers, stats and machine shape.
 [[nodiscard]] std::vector<ParamKind> sim_schema();
 
+/// True when this run computes only one shard of its grid (`cvmt run
+/// --shard k/n --store DIR` with n > 1): the other shards' points come
+/// back default-constructed, so fold sections (averages, speedups,
+/// headline relations) would divide by zeros. Runners skip those
+/// sections under a partial grid; `cvmt merge` renders them from the
+/// complete store. False for resumable single-shard runs and for merge
+/// replay — both see every point.
+[[nodiscard]] bool partial_grid(const RunContext& ctx);
+
 }  // namespace cvmt::runners

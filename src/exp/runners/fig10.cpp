@@ -38,7 +38,8 @@ ExperimentResult run(const RunContext& ctx) {
     s.data = render_fig10(f);
     result.sections.push_back(std::move(s));
   }
-  if (!ctx.params.schemes.empty() || !ctx.params.workloads.empty())
+  if (!ctx.params.schemes.empty() || !ctx.params.workloads.empty() ||
+      runners::partial_grid(ctx))
     return result;
 
   // Grouped view as in the paper's legend.

@@ -30,9 +30,12 @@ std::vector<std::string> tokenize(std::string_view line) {
 }
 
 std::uint64_t parse_u64(const std::string& tok, int line_no) {
-  char* end = nullptr;
-  const std::uint64_t v = std::strtoull(tok.c_str(), &end, 0);
-  CVMT_CHECK_MSG(end != tok.c_str() && end != nullptr && *end == '\0',
+  // parse_u64_token rejects what bare strtoull silently accepts: a
+  // leading sign (issue=-1 would wrap to 18446744073709551615), trailing
+  // garbage, and out-of-range values. Base 0 keeps 0x-prefixed slot
+  // masks working.
+  std::uint64_t v = 0;
+  CVMT_CHECK_MSG(parse_u64_token(tok, v, 0),
                  at(line_no) + "not a number: '" + tok + "'");
   return v;
 }

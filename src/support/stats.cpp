@@ -50,6 +50,17 @@ void Histogram::add(std::size_t value, std::uint64_t weight) {
   weighted_sum_ += weight * value;
 }
 
+Histogram Histogram::restored(std::vector<std::uint64_t> counts,
+                              std::uint64_t total,
+                              std::uint64_t weighted_sum) {
+  CVMT_CHECK(!counts.empty());
+  Histogram h(counts.size());
+  h.counts_ = std::move(counts);
+  h.total_ = total;
+  h.weighted_sum_ = weighted_sum;
+  return h;
+}
+
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;

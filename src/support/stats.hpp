@@ -43,6 +43,15 @@ class Histogram {
 
   void add(std::size_t value, std::uint64_t weight = 1);
 
+  /// Rebuilds a histogram from its serialized state (the result store's
+  /// round trip). Buckets alone cannot reproduce one: add() clamps the
+  /// bucket index but accumulates the unclamped value into the weighted
+  /// sum, so the sum is carried explicitly. restored(counts, total, sum)
+  /// of a dumped histogram equals the original bit-for-bit.
+  [[nodiscard]] static Histogram restored(std::vector<std::uint64_t> counts,
+                                          std::uint64_t total,
+                                          std::uint64_t weighted_sum);
+
   /// Zeroes every bucket and the totals; the bucket count is kept. A reset
   /// histogram is indistinguishable from a freshly constructed one (the
   /// session layer reuses result buffers across runs on this guarantee).
@@ -51,6 +60,9 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
   [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Weight-scaled sum of the recorded values (the mean's numerator),
+  /// exposed exactly so restored() can round-trip it; see restored().
+  [[nodiscard]] std::uint64_t weighted_sum() const { return weighted_sum_; }
   /// Mean of the recorded integer values.
   [[nodiscard]] double mean() const;
   /// Fraction of samples in bucket `i` (0 if empty histogram).

@@ -1,7 +1,10 @@
 #include "support/string_util.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cvmt {
 
@@ -33,6 +36,40 @@ std::string to_upper(std::string_view s) {
   for (char& c : out)
     c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   return out;
+}
+
+bool parse_u64_token(std::string_view tok, std::uint64_t& out, int base) {
+  if (tok.empty()) return false;
+  const char front = tok.front();
+  if (front == '-' || front == '+' ||
+      std::isspace(static_cast<unsigned char>(front)))
+    return false;
+  const std::string buf(tok);  // strtoull needs a terminator
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, base);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str() ||
+      errno == ERANGE)
+    return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double_token(std::string_view tok, double& out) {
+  if (tok.empty()) return false;
+  const char front = tok.front();
+  if (front == '-' || front == '+' ||
+      std::isspace(static_cast<unsigned char>(front)))
+    return false;
+  const std::string buf(tok);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str() ||
+      errno == ERANGE || !std::isfinite(v))
+    return false;
+  out = v;
+  return true;
 }
 
 std::string format_fixed(double value, int decimals) {

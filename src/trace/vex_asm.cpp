@@ -15,6 +15,32 @@ std::string hex(std::uint64_t v) {
   return buf;
 }
 
+/// Strict numeric field parsing. The old bare strtoull/strtod calls
+/// passed a null end pointer, so any garbage field silently parsed as 0
+/// (and "-48" wrapped modulo 2^64); every number in a program file now
+/// validates the full token and fails with the line number. Base 0: code
+/// and hot addresses are written 0x-prefixed.
+std::uint64_t parse_u64_or_die(std::string_view tok, int line_no,
+                               std::string_view what) {
+  std::uint64_t v = 0;
+  CVMT_CHECK_MSG(parse_u64_token(tok, v, 0),
+                 "line " + std::to_string(line_no) + ": " +
+                     std::string(what) + " is not an unsigned number: '" +
+                     std::string(tok) + "'");
+  return v;
+}
+
+double parse_double_or_die(std::string_view tok, int line_no,
+                           std::string_view what) {
+  double v = 0.0;
+  CVMT_CHECK_MSG(parse_double_token(tok, v),
+                 "line " + std::to_string(line_no) + ": " +
+                     std::string(what) +
+                     " is not a non-negative number: '" +
+                     std::string(tok) + "'");
+  return v;
+}
+
 OpKind kind_from_token(std::string_view tok, int line_no) {
   if (tok == "alu") return OpKind::kAlu;
   if (tok == "mpy") return OpKind::kMul;
@@ -46,10 +72,12 @@ class LineParser {
   }
 
   [[nodiscard]] std::uint64_t field_u64(std::string_view key) {
-    return std::strtoull(field(key).c_str(), nullptr, 0);
+    return parse_u64_or_die(field(key), line_no_,
+                            std::string(key) + "=");
   }
   [[nodiscard]] double field_double(std::string_view key) {
-    return std::strtod(field(key).c_str(), nullptr);
+    return parse_double_or_die(field(key), line_no_,
+                               std::string(key) + "=");
   }
 
  private:
@@ -73,12 +101,17 @@ Instruction parse_instruction(std::string_view body, int line_no) {
                    "line " + std::to_string(line_no) +
                        ": malformed operation '" + std::string(part) + "'");
     Operation op;
-    op.cluster = static_cast<std::uint8_t>(
-        std::strtoul(std::string(part.substr(1, dot - 1)).c_str(), nullptr,
-                     10));
-    op.slot = static_cast<std::uint8_t>(std::strtoul(
-        std::string(part.substr(dot + 1, space - dot - 1)).c_str(), nullptr,
-        10));
+    std::uint64_t cluster = 0;
+    std::uint64_t slot = 0;
+    CVMT_CHECK_MSG(
+        parse_u64_token(part.substr(1, dot - 1), cluster, 10) &&
+            parse_u64_token(part.substr(dot + 1, space - dot - 1), slot,
+                            10) &&
+            cluster <= 0xff && slot <= 0xff,
+        "line " + std::to_string(line_no) + ": malformed operation '" +
+            std::string(part) + "'");
+    op.cluster = static_cast<std::uint8_t>(cluster);
+    op.slot = static_cast<std::uint8_t>(slot);
     op.kind = kind_from_token(trim(part.substr(space + 1)), line_no);
     instr.add(op);
   }
@@ -162,14 +195,14 @@ std::shared_ptr<const SyntheticProgram> parse_program(
                          ": .machine does not match the target machine");
       machine_seen = true;
     } else if (line.rfind(".stride", 0) == 0) {
-      profile.hot_stride = std::strtoull(
-          std::string(trim(line.substr(7))).c_str(), nullptr, 0);
+      profile.hot_stride =
+          parse_u64_or_die(trim(line.substr(7)), line_no, ".stride");
     } else if (line.rfind(".codebytes", 0) == 0) {
-      profile.code_bytes_per_instr = std::strtoull(
-          std::string(trim(line.substr(10))).c_str(), nullptr, 0);
+      profile.code_bytes_per_instr =
+          parse_u64_or_die(trim(line.substr(10)), line_no, ".codebytes");
     } else if (line.rfind(".midtaken", 0) == 0) {
       profile.mid_branch_taken =
-          std::strtod(std::string(trim(line.substr(9))).c_str(), nullptr);
+          parse_double_or_die(trim(line.substr(9)), line_no, ".midtaken");
     } else if (line.rfind(".loop", 0) == 0) {
       CVMT_CHECK_MSG(!in_loop, "line " + std::to_string(line_no) +
                                    ": nested .loop");
@@ -182,10 +215,10 @@ std::shared_ptr<const SyntheticProgram> parse_program(
       CVMT_CHECK_MSG(plus != std::string::npos,
                      "line " + std::to_string(line_no) +
                          ": hot= needs base+window");
-      current.hot_base =
-          std::strtoull(hot.substr(0, plus).c_str(), nullptr, 0);
-      current.hot_window =
-          std::strtoull(hot.substr(plus + 1).c_str(), nullptr, 0);
+      current.hot_base = parse_u64_or_die(
+          std::string_view(hot).substr(0, plus), line_no, "hot= base");
+      current.hot_window = parse_u64_or_die(
+          std::string_view(hot).substr(plus + 1), line_no, "hot= window");
       current.cold_base = lp.field_u64("cold");
       next_pc = current.code_base;
       in_loop = true;

@@ -179,6 +179,37 @@ TEST(MachineFileTest, NonNumericValueIsDiagnosed) {
   expect_parse_error("clusters four\n", "not a number: 'four'");
 }
 
+// Regression: parse_u64 used bare strtoull, which skips a leading sign —
+// `issue -1` wrapped to 18446744073709551615 and sailed through the
+// parser. Signed values must be rejected with the line number, exactly
+// like the CVMT_* environment parser rejects them.
+TEST(MachineFileTest, SignedValuesAreRejectedNotWrapped) {
+  const std::string msg =
+      expect_parse_error("clusters 1\nissue -1\n", "not a number: '-1'");
+  EXPECT_NE(msg.find("line 2:"), std::string::npos) << msg;
+  expect_parse_error("clusters +2\n", "not a number: '+2'");
+  expect_parse_error("alu_latency -4096\n", "not a number: '-4096'");
+}
+
+TEST(MachineFileTest, TrailingGarbageAndOverflowAreRejected) {
+  expect_parse_error("clusters 4x\n", "not a number: '4x'");
+  expect_parse_error("issue 4.5\n", "not a number: '4.5'");
+  // One past UINT64_MAX.
+  expect_parse_error("alu_latency 18446744073709551616\n",
+                     "not a number: '18446744073709551616'");
+}
+
+TEST(MachineFileTest, HexMasksStillParseAfterTheStrictness) {
+  // Strict parsing must keep base-0 semantics: 0x masks are the idiom in
+  // every example file.
+  const MachineDescription d = parse_machine_file(
+      "clusters 1\nissue 2\nmul_slots 0x2\nmem_slots 0x1\n"
+      "branch_slots 0x2\n");
+  EXPECT_EQ(d.machine.num_clusters, 1);
+  EXPECT_EQ(d.machine.issue_per_cluster, 2);
+  EXPECT_EQ(d.machine.mul_slot_mask, 0x2u);
+}
+
 TEST(MachineFileTest, WrongCacheArityIsDiagnosed) {
   expect_parse_error("icache 65536 64\n", "'icache' needs 4 values");
 }

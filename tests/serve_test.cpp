@@ -214,6 +214,50 @@ TEST(Serve, MidRequestDisconnectDoesNotWedgeAWorker) {
       c.request(run_request(8, "2SC3", 1000)).get("ok").as_bool());
 }
 
+// A client that pipelines a burst of work and vanishes with responses
+// still in flight: every send_all onto the dead socket must surface as a
+// dropped connection (EPIPE via MSG_NOSIGNAL), never a SIGPIPE, and the
+// accounting must stay exact — every admitted job still completes, none
+// is marked failed.
+TEST(Serve, PeerVanishingUnderLoadKeepsTheDaemonAliveAndAccountingExact) {
+  TestServer ts(/*workers=*/2, /*queue=*/64);
+  constexpr int kJobs = 16;
+  {
+    Client c(ts.server->port());
+    for (int i = 0; i < kJobs; ++i)
+      c.send_line(run_request(i, "2SC3", 500));
+    // Confirm the pipeline is flowing, then hang up mid-stream.
+    std::string line;
+    ASSERT_TRUE(c.recv_line(&line));
+  }
+  // The daemon survives and finishes the admitted burst; poll its stats
+  // until every job has drained.
+  Client probe(ts.server->port());
+  std::uint64_t runs_done = 0;
+  for (int tries = 0; tries < 500; ++tries) {
+    const JsonValue r = probe.request(R"({"id":"s","type":"stats"})");
+    ASSERT_TRUE(r.get("ok").as_bool());
+    // The run-latency count tracks completed `run` requests only (the
+    // probe's own stats traffic must not satisfy the wait).
+    runs_done = static_cast<std::uint64_t>(r.get("result")
+                                              .get("latency")
+                                              .get("run")
+                                              .get("count")
+                                              .as_int());
+    if (runs_done >= kJobs) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(runs_done, static_cast<std::uint64_t>(kJobs));
+  const JsonValue stats = ts.server->stats_json();
+  const JsonValue& req = stats.get("requests");
+  EXPECT_EQ(req.get("failed").as_int(), 0);
+  EXPECT_EQ(req.get("rejected_overload").as_int(), 0);
+  // And a fresh connection still gets real work done.
+  Client c2(ts.server->port());
+  EXPECT_TRUE(
+      c2.request(run_request(99, "2SC3", 500)).get("ok").as_bool());
+}
+
 // --- work requests --------------------------------------------------------
 
 TEST(Serve, ExperimentResponseMatchesCliBytes) {

@@ -148,6 +148,75 @@ TEST(VexAsm, RejectsSemanticallyInvalidLoops) {
   EXPECT_THROW((void)parse_program(bad_slot, kM), CheckError);
 }
 
+/// Expects parse_program(text) to throw a CheckError mentioning `needle`.
+void expect_parse_error(const std::string& text,
+                        const std::string& needle) {
+  try {
+    (void)parse_program(text, kM);
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "message \"" << msg << "\" does not mention \"" << needle
+        << "\"";
+    return;
+  }
+  ADD_FAILURE() << "no error for:\n" << text;
+}
+
+std::string loop_with(const std::string& loop_line) {
+  return ".machine clusters=4 issue=4\n" + loop_line +
+         "\n{ c0.0 alu ; c0.3 br }\n.endloop\n";
+}
+
+// Regression: field_u64/field_double passed a null end pointer to
+// strtoull/strtod, so a garbage field silently parsed as 0 (and a signed
+// one wrapped). Every numeric field must now validate the whole token and
+// name the offending line.
+TEST(VexAsm, GarbageNumericFieldsFailWithTheLineNumber) {
+  expect_parse_error(
+      loop_with(".loop trips=1 miss=0 code=0xZZ hot=0x0+64 cold=0x0"),
+      "line 2: code= is not an unsigned number: '0xZZ'");
+  expect_parse_error(
+      loop_with(".loop trips=oops miss=0 code=0x0 hot=0x0+64 cold=0x0"),
+      "line 2: trips= is not a non-negative number: 'oops'");
+  expect_parse_error(
+      loop_with(".loop trips=1 miss=0.5x code=0x0 hot=0x0+64 cold=0x0"),
+      "miss= is not a non-negative number: '0.5x'");
+  expect_parse_error(
+      loop_with(".loop trips=1 miss=0 code=0x0 hot=0x0+64kb cold=0x0"),
+      "hot= window is not an unsigned number: '64kb'");
+  expect_parse_error(".machine clusters=4 issue=4\n.stride 8x\n",
+                     "line 2: .stride is not an unsigned number: '8x'");
+  expect_parse_error(".machine clusters=4 issue=4\n.codebytes eight\n",
+                     ".codebytes is not an unsigned number: 'eight'");
+  expect_parse_error(".machine clusters=4 issue=4\n.midtaken often\n",
+                     ".midtaken is not a non-negative number: 'often'");
+}
+
+TEST(VexAsm, EmptyAndSignedFieldsAreRejected) {
+  expect_parse_error(
+      loop_with(".loop trips= miss=0 code=0x0 hot=0x0+64 cold=0x0"),
+      "trips= is not a non-negative number: ''");
+  // strtoull would wrap "-48" to 18446744073709551598 — reject instead.
+  expect_parse_error(
+      loop_with(".loop trips=1 miss=0 code=-48 hot=0x0+64 cold=0x0"),
+      "code= is not an unsigned number: '-48'");
+  expect_parse_error(
+      loop_with(".loop trips=-1 miss=0 code=0x0 hot=0x0+64 cold=0x0"),
+      "trips= is not a non-negative number: '-1'");
+  expect_parse_error(".machine clusters=+4 issue=4\n",
+                     "clusters= is not an unsigned number: '+4'");
+}
+
+TEST(VexAsm, MalformedOperationDigitsAreRejected) {
+  expect_parse_error(loop_with(".loop trips=1 miss=0 code=0x0 hot=0x0+64 "
+                               "cold=0x0\n{ cX.0 alu ; c0.3 br }"),
+                     "malformed operation");
+  expect_parse_error(loop_with(".loop trips=1 miss=0 code=0x0 hot=0x0+64 "
+                               "cold=0x0\n{ c0.q alu ; c0.3 br }"),
+                     "malformed operation");
+}
+
 TEST(VexAsm, CommentsAndBlankLinesIgnored) {
   const std::string text = std::string("# leading comment\n\n") +
                            kMiniProgram + "\n# trailing\n";

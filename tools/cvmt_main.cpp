@@ -4,6 +4,8 @@
 //   cvmt list
 //   cvmt run fig10 --fast --format=json
 //   cvmt run all --format=csv
+//   cvmt run fig10 --store=sweep/ --shard=0/4   # crash-safe shard
+//   cvmt merge --store=sweep/ --format=json     # fold the shard logs
 //
 // All logic lives in src/exp/driver.cpp so the tests can exercise it.
 #include "exp/driver.hpp"
