@@ -96,10 +96,22 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<SimBatch>> batches;
   for (const int lanes : lane_counts)
     batches.push_back(std::make_unique<SimBatch>(lanes));
+  // The decomposition pair: the widest-lane batch above runs with the
+  // window kernels at their default (on); this twin runs the same grid
+  // with CVMT_BATCH_KERNELS forced off, isolating what the structural
+  // ICache + fused replay kernels add on top of plain lockstep.
+  SimBatch nokernel(lane_counts.back());
+  nokernel.set_kernels_enabled(false);
   Dataset grid({ColumnSpec::integer("Budget"), ColumnSpec::str("Path"),
                 ColumnSpec::real("Wall s", 3),
                 ColumnSpec::real("Runs/s", 0),
                 ColumnSpec::real("Speedup", 2, "x")});
+  Dataset kernels({ColumnSpec::integer("Budget"),
+                   ColumnSpec::integer("Fused"),
+                   ColumnSpec::integer("Structural"),
+                   ColumnSpec::integer("Generic"),
+                   ColumnSpec::real("Off s", 3), ColumnSpec::real("On s", 3),
+                   ColumnSpec::real("Kernel gain", 2, "x")});
   double headline_speedup = 0.0;
 
   for (const std::uint64_t budget : {small_budget, small_budget * 10}) {
@@ -122,7 +134,10 @@ int main(int argc, char** argv) {
         for (const auto& wl : workloads) {
           BatchRunSpec spec;
           spec.scheme = compiled[s];
-          spec.programs = wl->programs;
+          // Aliasing share of the compiled workload's programs vector:
+          // grid submission bumps one refcount per job instead of
+          // copying the vector (the session path passes a const ref).
+          spec.shared_programs = {wl, &wl->programs};
           spec.config = cfg;
           batch.enqueue(std::move(spec));
         }
@@ -130,12 +145,28 @@ int main(int argc, char** argv) {
       if (results != nullptr) *results = std::move(out);
     };
 
+    const auto nokernel_pass = [&](std::vector<SimResult>* results) {
+      for (std::size_t s = 0; s < schemes.size(); ++s)
+        for (const auto& wl : workloads) {
+          BatchRunSpec spec;
+          spec.scheme = compiled[s];
+          spec.shared_programs = {wl, &wl->programs};
+          spec.config = cfg;
+          nokernel.enqueue(std::move(spec));
+        }
+      std::vector<SimResult> out = nokernel.run_all();
+      if (results != nullptr) *results = std::move(out);
+    };
+
     // Warm-up pass of every path, doubling as the bit-identity check:
-    // each lane count's grid must equal the session baseline's on every
-    // counter. A hard guarantee, not a benchmark nicety.
+    // each lane count's grid — kernels on and off — must equal the
+    // session baseline's on every counter. A hard guarantee, not a
+    // benchmark nicety.
     std::vector<SimResult> baseline;
     baseline.reserve(grid_points);
     session_pass(&baseline);
+    const SimBatch::KernelStats stats_before =
+        batches.back()->kernel_stats();
     for (std::size_t l = 0; l < lane_counts.size(); ++l) {
       std::vector<SimResult> batched;
       batch_pass(l, &batched);
@@ -151,9 +182,26 @@ int main(int argc, char** argv) {
         }
       }
     }
+    const SimBatch::KernelStats stats_after = batches.back()->kernel_stats();
+    {
+      std::vector<SimResult> batched;
+      nokernel_pass(&batched);
+      for (std::size_t i = 0; i < grid_points; ++i) {
+        const std::string mismatch =
+            compare_sim_results(baseline[i], batched[i],
+                                /*compare_merge_stats=*/true);
+        if (!mismatch.empty()) {
+          std::cerr << "bench_batch_engine: budget " << budget
+                    << " kernels off grid point " << i
+                    << " diverged: " << mismatch << '\n';
+          return 1;
+        }
+      }
+    }
 
     // Timed passes, alternating, best-of-reps per path.
     double session_s = 0.0;
+    double nokernel_s = 0.0;
     std::vector<double> batch_s(lane_counts.size(), 0.0);
     for (std::uint64_t r = 0; r < reps; ++r) {
       auto start = Clock::now();
@@ -166,6 +214,10 @@ int main(int argc, char** argv) {
         const double b = seconds_since(start);
         if (r == 0 || b < batch_s[l]) batch_s[l] = b;
       }
+      start = Clock::now();
+      nokernel_pass(nullptr);
+      const double n = seconds_since(start);
+      if (r == 0 || n < nokernel_s) nokernel_s = n;
     }
 
     grid.add_row({static_cast<std::int64_t>(budget),
@@ -182,6 +234,19 @@ int main(int argc, char** argv) {
         headline_speedup = speedup;
     }
     grid.add_separator();
+
+    // Kernel decomposition at the widest lane count: how the grid split
+    // across the three window paths on this budget's warm pass, and what
+    // the kernels bought over the identical batch with them forced off.
+    kernels.add_row(
+        {static_cast<std::int64_t>(budget),
+         static_cast<std::int64_t>(stats_after.fused_jobs -
+                                   stats_before.fused_jobs),
+         static_cast<std::int64_t>(stats_after.structural_jobs -
+                                   stats_before.structural_jobs),
+         static_cast<std::int64_t>(stats_after.generic_jobs -
+                                   stats_before.generic_jobs),
+         nokernel_s, batch_s.back(), nokernel_s / batch_s.back()});
   }
 
   BenchReport report;
@@ -201,6 +266,18 @@ int main(int argc, char** argv) {
       std::to_string(reps) + ")";
   grid_section.data = std::move(grid);
   report.sections.push_back(std::move(grid_section));
+
+  ResultSection kernel_section;
+  kernel_section.title =
+      "Kernel decomposition (lanes=" +
+      std::to_string(lane_counts.back()) +
+      "): window-path job split and kernels-off twin";
+  kernel_section.data = std::move(kernels);
+  kernel_section.note =
+      "\nFused/Structural/Generic count jobs per window path on the warm "
+      "pass; Off s re-times the same grid with CVMT_BATCH_KERNELS "
+      "forced off.\n";
+  report.sections.push_back(std::move(kernel_section));
 
   ResultSection headline;
   headline.title = "Headline";

@@ -454,14 +454,4 @@ MergePlan::Eval MergePlan::select_specialized(
   return select_multi_specialized(candidates, rotation, scratch, stats);
 }
 
-MergePlan::Eval MergePlan::select_multi_specialized(
-    std::span<const Footprint* const> candidates, int rotation,
-    Frame* scratch, MergeNodeStats* stats) const {
-  if (fixed_full_ != nullptr)
-    return stats != nullptr
-               ? (this->*fixed_full_)(candidates, rotation, stats)
-               : (this->*fixed_fast_)(candidates, rotation, stats);
-  return select_multi(candidates, rotation, scratch, stats);
-}
-
 }  // namespace cvmt

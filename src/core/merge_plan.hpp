@@ -151,10 +151,18 @@ class MergePlan {
       Frame* scratch, MergeNodeStats* stats) const;
 
   /// select_specialized() minus the offer-count scan (the
-  /// select_multi() counterpart for pre-counted offers).
+  /// select_multi() counterpart for pre-counted offers). Inline: the
+  /// body is a two-way dispatch in front of the bound evaluator, and
+  /// this is the per-decision entry of the cycle-loop hot paths.
   [[nodiscard]] Eval select_multi_specialized(
       std::span<const Footprint* const> candidates, int rotation,
-      Frame* scratch, MergeNodeStats* stats) const;
+      Frame* scratch, MergeNodeStats* stats) const {
+    if (fixed_full_ != nullptr)
+      return stats != nullptr
+                 ? (this->*fixed_full_)(candidates, rotation, stats)
+                 : (this->*fixed_fast_)(candidates, rotation, stats);
+    return select_multi(candidates, rotation, scratch, stats);
+  }
 
   /// Fresh zeroed stats array matching this plan: one entry per merge
   /// block, preorder, labelled with the block's canonical sub-scheme.

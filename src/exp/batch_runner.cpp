@@ -1,6 +1,7 @@
 #include "exp/batch_runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 
 #include "sim/batch_engine.hpp"
@@ -47,11 +48,9 @@ void run_jobs_batched(std::span<const BatchJob> jobs,
   for (const BatchJob& job : jobs) {
     BatchRunSpec spec;
     spec.scheme = cache.scheme(job.scheme, job.sim.machine);
-    spec.programs =
-        cache
-            .workload(std::span<const std::string>(job.benchmarks),
-                      job.sim.machine)
-            ->programs;
+    const std::shared_ptr<const CompiledWorkload> wl = cache.workload(
+        std::span<const std::string>(job.benchmarks), job.sim.machine);
+    spec.shared_programs = {wl, &wl->programs};
     spec.config = job.sim;
     batch.enqueue(std::move(spec));
   }
@@ -86,7 +85,15 @@ std::vector<SimResult> run_batch(std::span<const BatchJob> jobs,
   const unsigned workers = resolve_workers(opts, jobs.size());
   // The store mediates per job (skip/load/append around each point), so
   // it rides the session path; lanes>1 would simulate a whole lockstep
-  // group before any store decision. Results are bit-identical anyway.
+  // group before any store decision. Results are bit-identical anyway,
+  // but a sharded sweep runs at session throughput — say so instead of
+  // leaving --shard ... --lanes 8 users mystified.
+  if (opts.store != nullptr && opts.lanes > 1)
+    std::fprintf(stderr,
+                 "cvmt: --store runs the per-job session path; ignoring "
+                 "--lanes=%u (results are bit-identical, only sweep "
+                 "throughput differs)\n",
+                 opts.lanes);
   const unsigned lanes =
       opts.store != nullptr ? 1u : (opts.lanes == 0 ? 1u : opts.lanes);
   if (workers <= 1) {

@@ -6,6 +6,7 @@
 
 #include "core/scheme.hpp"
 #include "isa/machine_file.hpp"
+#include "sim/batch_engine.hpp"
 #include "store/result_store.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
@@ -116,12 +117,21 @@ ExperimentParams ExperimentParams::resolve(const ArgParser& parser) {
   // Lanes fail eagerly — a bad CVMT_BATCH_LANES must not surface hours
   // into a sweep. Powers of two only: lane counts are compared across
   // the {1,2,4,8} identity matrix and benches, and a stray value like 0
-  // or 3 is always a typo.
+  // or 3 is always a typo. Each rejection names its own mistake, and the
+  // ceiling is the engine's lane-pool max, not a copy of it.
+  constexpr std::uint64_t kMaxLanes =
+      static_cast<std::uint64_t>(SimBatch::kMaxLanes);
   const std::uint64_t lanes = parser.get_u64("lanes", 1);
-  CVMT_CHECK_MSG(lanes >= 1 && lanes <= 4096 &&
-                     (lanes & (lanes - 1)) == 0,
-                 "--lanes/CVMT_BATCH_LANES must be a power of two in "
-                 "[1, 4096], got " +
+  CVMT_CHECK_MSG(lanes != 0,
+                 "--lanes/CVMT_BATCH_LANES: 0 is not \"auto\" — lane count "
+                 "must be >= 1 (omit the flag for the default single-lane "
+                 "path)");
+  CVMT_CHECK_MSG(lanes <= kMaxLanes,
+                 "--lanes/CVMT_BATCH_LANES exceeds the lane-pool max " +
+                     std::to_string(kMaxLanes) + ", got " +
+                     std::to_string(lanes));
+  CVMT_CHECK_MSG((lanes & (lanes - 1)) == 0,
+                 "--lanes/CVMT_BATCH_LANES must be a power of two, got " +
                      std::to_string(lanes));
   p.cfg.batch.lanes = static_cast<unsigned>(lanes);
 

@@ -101,8 +101,12 @@ static_assert(std::endian::native == std::endian::little,
 [[nodiscard]] bool smt_compatible_het(const Footprint& a, const Footprint& b,
                                       const MachineConfig& config);
 
-inline bool Footprint::smt_compatible(const Footprint& a, const Footprint& b,
-                                      const MachineConfig& config) {
+// Forced inline: both SWAR bodies are a handful of ALU ops on two
+// cache-resident 16-byte arrays, called once per merge attempt of every
+// simulated cycle — the call/spill overhead of an outlined copy is
+// comparable to the work itself.
+[[gnu::always_inline]] inline bool Footprint::smt_compatible(
+    const Footprint& a, const Footprint& b, const MachineConfig& config) {
   if (config.heterogeneous) [[unlikely]]
     return smt_compatible_het(a, b, config);
   const auto la = std::bit_cast<Lanes>(a.use_);
@@ -121,8 +125,8 @@ inline bool Footprint::smt_compatible(const Footprint& a, const Footprint& b,
   return true;
 }
 
-inline void Footprint::merge_with(const Footprint& b,
-                                  const MachineConfig& config) {
+[[gnu::always_inline]] inline void Footprint::merge_with(
+    const Footprint& b, const MachineConfig& config) {
   CVMT_DCHECK(smt_compatible(*this, b, config));
   auto la = std::bit_cast<Lanes>(use_);
   const auto lb = std::bit_cast<Lanes>(b.use_);

@@ -25,44 +25,7 @@ SetAssocCache::SetAssocCache(const CacheConfig& config)
   set_shift_ = static_cast<std::uint32_t>(std::countr_zero(num_sets_));
 }
 
-std::uint64_t SetAssocCache::set_index(std::uint64_t addr) const {
-  return (addr >> line_shift_) & (num_sets_ - 1);
-}
-
-std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
-  return (addr >> line_shift_) >> set_shift_;
-}
-
-bool SetAssocCache::access(std::uint64_t addr) {
-  const std::uint64_t set = set_index(addr);
-  const std::uint64_t tag = tag_of(addr);
-  ++clock_;
-
-  // Single-probe fast path: consecutive accesses mostly re-touch the last
-  // line (sequential fetches stream through a 64B line). See mru_line_'s
-  // comment for why this is exactly the scan's hit path.
-  if (mru_line_ != nullptr && mru_set_ == set && mru_line_->gen == gen_ &&
-      mru_line_->tag == tag) {
-    mru_line_->last_used = clock_;
-    stats_.record(true);
-    return true;
-  }
-
-  Line* base = &lines_[set * config_.ways];
-
-  // Hit path first (the common case): a tight tag scan with no
-  // replacement bookkeeping. Only a miss pays for the victim search.
-  for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    Line& line = base[w];
-    if (line.gen == gen_ && line.tag == tag) {
-      line.last_used = clock_;
-      mru_set_ = set;
-      mru_line_ = &line;
-      stats_.record(true);
-      return true;
-    }
-  }
-
+bool SetAssocCache::fill(Line* base, std::uint64_t set, std::uint64_t tag) {
   // Prefer an invalid way; otherwise the least recently used one.
   Line* victim = base;
   for (std::uint32_t w = 1; w < config_.ways; ++w) {

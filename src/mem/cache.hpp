@@ -37,7 +37,44 @@ class SetAssocCache {
   explicit SetAssocCache(const CacheConfig& config);
 
   /// Looks up `addr`, fills on miss, updates LRU. Returns true on hit.
-  bool access(std::uint64_t addr);
+  /// The single-probe MRU fast path is inline — consecutive accesses
+  /// mostly re-touch the last line (sequential fetches stream through a
+  /// 64B line), and the probe is cheap enough that the call overhead of
+  /// an outlined lookup would dominate it. See mru_line_'s comment for
+  /// why the probe is exactly the way scan's hit path.
+  bool access(std::uint64_t addr) {
+    const std::uint64_t set = set_index(addr);
+    const std::uint64_t tag = tag_of(addr);
+    ++clock_;
+    if (mru_line_ != nullptr && mru_set_ == set && mru_line_->gen == gen_ &&
+        mru_line_->tag == tag) {
+      mru_line_->last_used = clock_;
+      stats_.record(true);
+      return true;
+    }
+    return access_scan(set, tag);
+  }
+
+  /// access() past the MRU probe: way scan, then victim fill on a miss.
+  /// Also inline — interleaved data streams (several threads sharing one
+  /// DCache) defeat the MRU probe, making the scan the common path there.
+  bool access_scan(std::uint64_t set, std::uint64_t tag) {
+    Line* base = &lines_[set * config_.ways];
+
+    // Hit path first (the common case): a tight tag scan with no
+    // replacement bookkeeping. Only a miss pays for the victim search.
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      Line& line = base[w];
+      if (line.gen == gen_ && line.tag == tag) {
+        line.last_used = clock_;
+        mru_set_ = set;
+        mru_line_ = &line;
+        stats_.record(true);
+        return true;
+      }
+    }
+    return fill(base, set, tag);
+  }
 
   /// True if the line holding `addr` is currently resident (no LRU update,
   /// no fill). Used by tests and warm-up inspection.
@@ -72,8 +109,14 @@ class SetAssocCache {
     std::uint64_t gen = 0;
   };
 
-  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const;
-  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const;
+  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const {
+    return (addr >> line_shift_) & (num_sets_ - 1);
+  }
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const {
+    return (addr >> line_shift_) >> set_shift_;
+  }
+  /// Miss tail of access_scan(): victim search and fill.
+  bool fill(Line* base, std::uint64_t set, std::uint64_t tag);
 
   CacheConfig config_;
   std::uint64_t num_sets_;

@@ -1,0 +1,135 @@
+#include "mem/icache_structural.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.hpp"
+#include "trace/trace_replay.hpp"
+
+namespace cvmt {
+namespace {
+
+/// The config gates shared by both variants. Returns false (with the
+/// reason filled in) when the memory system rules structural fetch out
+/// before any line set matters.
+bool gates_pass(const MemorySystemConfig& mem,
+                IcacheStructuralReport& report) {
+  if (mem.perfect) {
+    report.reason = "perfect memory (fetches never touch the cache)";
+    return false;
+  }
+  if (mem.sharing != CacheSharing::kShared) {
+    report.reason =
+        "private ICaches (per-slot caches split a migrating thread's "
+        "first-touch history)";
+    return false;
+  }
+  if (mem.has_l2) {
+    report.reason = "L2 present (an L1 fetch miss probes shared L2 state)";
+    return false;
+  }
+  return true;
+}
+
+/// Disjointness + per-set-pressure verdict over per-thread sorted-unique
+/// line sets (concatenated in `all_lines`, per-thread sizes summing to
+/// `per_thread_sum`).
+IcacheStructuralReport line_set_verdict(std::vector<std::uint64_t> all_lines,
+                                        std::size_t per_thread_sum,
+                                        const MemorySystemConfig& mem) {
+  IcacheStructuralReport report;
+  std::sort(all_lines.begin(), all_lines.end());
+  all_lines.erase(std::unique(all_lines.begin(), all_lines.end()),
+                  all_lines.end());
+  report.distinct_lines = all_lines.size();
+  if (all_lines.size() != per_thread_sum) {
+    // Two threads can fetch the same line: one thread's compulsory miss
+    // becomes the other's warm hit, so hit/miss depends on the
+    // interleaving and no per-thread flag can capture it.
+    report.reason = "thread line sets overlap (salt collision)";
+    return report;
+  }
+
+  // Per-set pressure: with at most `ways` distinct lines mapping to any
+  // set, LRU never has to evict a valid line — fills only take invalid
+  // ways, and residency is permanent.
+  const std::uint64_t num_sets = mem.icache.num_sets();
+  std::vector<std::uint32_t> pressure(static_cast<std::size_t>(num_sets), 0);
+  for (const std::uint64_t line : all_lines) {
+    std::uint32_t& p =
+        pressure[static_cast<std::size_t>(line & (num_sets - 1))];
+    ++p;
+    report.max_set_pressure = std::max(report.max_set_pressure, p);
+  }
+  if (report.max_set_pressure > mem.icache.ways) {
+    report.reason = "set pressure " +
+                    std::to_string(report.max_set_pressure) +
+                    " exceeds ways " + std::to_string(mem.icache.ways);
+    return report;
+  }
+  report.eligible = true;
+  return report;
+}
+
+}  // namespace
+
+IcacheStructuralReport analyze_icache_structural(
+    std::span<const std::shared_ptr<const SyntheticProgram>> programs,
+    std::span<const std::uint64_t> salts, const MemorySystemConfig& mem) {
+  CVMT_CHECK_MSG(programs.size() == salts.size(),
+                 "one salt per program required");
+  IcacheStructuralReport report;
+  if (!gates_pass(mem, report)) return report;
+
+  // Static per-thread line sets: every fetchable PC is a loop-body
+  // template pc plus the thread's salt (TraceGenerator::advance).
+  const std::uint32_t line_shift = static_cast<std::uint32_t>(
+      std::countr_zero(mem.icache.line_bytes));
+  std::vector<std::uint64_t> all_lines;
+  std::size_t per_thread_sum = 0;
+  for (std::size_t t = 0; t < programs.size(); ++t) {
+    CVMT_CHECK(programs[t] != nullptr);
+    std::vector<std::uint64_t> lines;
+    for (const SyntheticProgram::Loop& loop : programs[t]->loops())
+      for (const Instruction& inst : loop.body)
+        lines.push_back((inst.pc() + salts[t]) >> line_shift);
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    per_thread_sum += lines.size();
+    all_lines.insert(all_lines.end(), lines.begin(), lines.end());
+  }
+  IcacheStructuralReport verdict =
+      line_set_verdict(std::move(all_lines), per_thread_sum, mem);
+  return verdict;
+}
+
+IcacheStructuralReport analyze_icache_structural_recorded(
+    std::span<TraceReplay* const> replays, std::uint64_t budget,
+    const MemorySystemConfig& mem) {
+  IcacheStructuralReport report;
+  if (!gates_pass(mem, report)) return report;
+
+  // Exact per-thread line sets from the recordings: entry i's pc is
+  // already salted, and a run fetches at most entries [0, budget) per
+  // thread, so these ARE the lines the cache can see.
+  const std::uint32_t line_shift = static_cast<std::uint32_t>(
+      std::countr_zero(mem.icache.line_bytes));
+  std::vector<std::uint64_t> all_lines;
+  std::size_t per_thread_sum = 0;
+  std::vector<std::uint64_t> lines;
+  for (TraceReplay* const replay : replays) {
+    CVMT_CHECK(replay != nullptr);
+    CVMT_CHECK_MSG(replay->recorded() >= budget,
+                   "recording does not cover the budget");
+    lines.clear();
+    for (std::uint64_t i = 0; i < budget; ++i)
+      lines.push_back(replay->entry(i).pc >> line_shift);
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    per_thread_sum += lines.size();
+    all_lines.insert(all_lines.end(), lines.begin(), lines.end());
+  }
+  return line_set_verdict(std::move(all_lines), per_thread_sum, mem);
+}
+
+}  // namespace cvmt

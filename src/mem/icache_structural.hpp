@@ -1,0 +1,87 @@
+// Structurally-eviction-free ICache detection.
+//
+// A workload's instruction fetch behaviour in a *shared* L1 ICache is
+// fully decided up front when the programs' static line sets cannot
+// collide: every PC a thread can ever fetch is a loop-body template pc
+// plus that thread's address-space salt, so each thread's reachable line
+// set is enumerable without running anything. If (1) the per-thread line
+// sets are pairwise disjoint and (2) no cache set is mapped by more
+// distinct lines than it has ways, then no fill ever evicts a valid line:
+// once a line is resident it stays resident for the whole run. Hit/miss
+// then collapses to "is this the thread's first touch of the line" — a
+// pure property of the thread's own recorded stream, independent of the
+// cross-thread interleaving, the merge scheme and the OS schedule. The
+// batch engine uses this to replace the fetch-path cache walk with one
+// precomputed bit per recorded instruction (see TraceReplay::first_touch)
+// while staying bit-identical to the live cache: the skipped walk's only
+// effect was internal LRU/tag state that no SimResult counter observes.
+//
+// The analysis is conservative and sound: it reasons over the *static*
+// line set (every line a thread could fetch), a superset of any dynamic
+// run's touched lines; eviction-freedom of the superset implies it for
+// every execution and budget.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mem/memory_system.hpp"
+#include "trace/synthetic_program.hpp"
+
+namespace cvmt {
+
+/// Outcome of the eligibility analysis, with the failing condition named
+/// (diagnostics and tests; the batch engine only reads `eligible`).
+struct IcacheStructuralReport {
+  bool eligible = false;
+  std::string reason;  ///< empty when eligible
+  /// Distinct static lines over all threads (valid when the line sets
+  /// were actually enumerated, i.e. the config gates passed).
+  std::uint64_t distinct_lines = 0;
+  /// Largest number of distinct lines mapping to one cache set.
+  std::uint32_t max_set_pressure = 0;
+};
+
+/// Decides whether the shared ICache of `mem` is structurally eviction
+/// free for this workload: `programs[i]` running with address salt
+/// `salts[i]` (one thread per program, see TraceGenerator::salt_for_seed).
+///
+/// Config gates (all must hold before the line sets even matter):
+///   * sharing == kShared — with private per-slot caches a software
+///     thread migrating across hardware slots splits its first-touch
+///     history over several caches, so per-thread flags are wrong;
+///   * !perfect — the perfect path never touches the cache and already
+///     skips the walk (its stats stay zero by design);
+///   * !has_l2 — an L1 miss would probe the shared L2, whose state also
+///     depends on DCache traffic; skipping the fetch would diverge.
+///
+/// This variant reasons over the *static* line set (every line a thread
+/// could ever fetch) — a superset of any run's touched lines, so
+/// eligibility holds for every budget. It is also pessimistic: loop code
+/// regions are 4KB apart while the default 256-set cache's set period is
+/// 16KB, so a program with more than ~4 loops self-collides in sets and
+/// full-program workloads rarely pass. Budget-bounded runs should use the
+/// recorded variant below.
+[[nodiscard]] IcacheStructuralReport analyze_icache_structural(
+    std::span<const std::shared_ptr<const SyntheticProgram>> programs,
+    std::span<const std::uint64_t> salts, const MemorySystemConfig& mem);
+
+class TraceReplay;
+
+/// The exact-variant the batch engine uses: per-thread line sets
+/// enumerated from the recorded streams' entries [0, budget) — the salted
+/// fetch PCs a budget-`budget` run can actually issue (a run fetches at
+/// most `budget` entries per thread, in recording order; early exits
+/// fetch a prefix). Exact instead of conservative, still sound and still
+/// interleaving-invariant: the recording is a pure function of
+/// (program, seed), so the verdict — like the first-touch flags it
+/// enables — is a property of the workload, not of the schedule.
+/// `replays[i]` must already cover `budget` entries.
+[[nodiscard]] IcacheStructuralReport analyze_icache_structural_recorded(
+    std::span<TraceReplay* const> replays, std::uint64_t budget,
+    const MemorySystemConfig& mem);
+
+}  // namespace cvmt

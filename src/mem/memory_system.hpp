@@ -95,6 +95,14 @@ class MemorySystem {
   /// L2 hit-rate; zero counters when the machine has no L2.
   [[nodiscard]] RatioCounter l2_stats() const;
 
+  /// The one shared DCache (requires sharing == kShared). The batch
+  /// engine's fused replay kernel drives it directly — same access order,
+  /// same RatioCounter, no per-access routing.
+  [[nodiscard]] SetAssocCache& shared_dcache() {
+    CVMT_DCHECK(config_.sharing == CacheSharing::kShared);
+    return dcaches_[0];
+  }
+
   /// DCache bank of `addr` (0 when unbanked). Line-interleaved.
   [[nodiscard]] int bank_of(std::uint64_t addr) const {
     return config_.dcache_banks > 1

@@ -1,23 +1,45 @@
 #include "sim/batch_engine.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdio>
 #include <span>
 #include <utility>
 
+#include "mem/icache_structural.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace cvmt {
+namespace {
+
+bool kernels_from_env() {
+  const std::string v = env_word("CVMT_BATCH_KERNELS", "on");
+  if (v == "on" || v == "1") return true;
+  if (v == "off" || v == "0") return false;
+  std::fprintf(stderr,
+               "cvmt: ignoring CVMT_BATCH_KERNELS=\"%s\" (expected on or "
+               "off); using on\n",
+               v.c_str());
+  return true;
+}
+
+}  // namespace
 
 SimBatch::SimBatch(int lanes)
     : lanes_(lanes),
-      lane_state_(static_cast<std::size_t>(std::max(lanes, 1))),
+      lane_state_(static_cast<std::size_t>(
+          std::clamp(lanes, 1, kMaxLanes))),
       cycle_(lane_state_.size(), 0),
       timeslice_(lane_state_.size(), 0),
       max_cycles_(lane_state_.size(), 0),
       switches_(lane_state_.size(), 0),
       timeslices_(lane_state_.size(), 0),
-      active_(lane_state_.size(), 0) {
-  CVMT_CHECK_MSG(lanes >= 1, "SimBatch needs at least one lane");
+      active_(lane_state_.size(), 0),
+      kernels_enabled_(kernels_from_env()) {
+  CVMT_CHECK_MSG(lanes >= 1 && lanes <= kMaxLanes,
+                 "SimBatch lane count must be in [1, " +
+                     std::to_string(kMaxLanes) + "]");
 }
 
 SimBatch::~SimBatch() {
@@ -29,7 +51,7 @@ SimBatch::~SimBatch() {
 void SimBatch::enqueue(BatchRunSpec spec) {
   CVMT_CHECK_MSG(spec.scheme != nullptr,
                  "batch job needs a compiled scheme");
-  CVMT_CHECK_MSG(!spec.programs.empty(), "empty workload");
+  CVMT_CHECK_MSG(!spec.progs().empty(), "empty workload");
   CVMT_CHECK_MSG(spec.config.machine == spec.scheme->machine(),
                  "SimConfig.machine must equal the compiled scheme's "
                  "machine");
@@ -66,52 +88,75 @@ void SimBatch::prepare(std::size_t lane, std::size_t job) {
                                 ? scheme.preferred_eval_mode()
                                 : cfg.eval_mode,
                             cfg.stall_fast_forward};
-  if (!st.core || st.scheme_key != scheme.key()) {
-    st.core.emplace(scheme.machine(), scheme.scheme(), scheme.plan(),
-                    cfg.priority, *st.mem, cfg.miss_policy, options);
-    st.scheme_key = scheme.key();
+  Lane::CoreSlot* slot = st.find_core(spec.scheme.get());
+  if (slot == nullptr) {
+    if (st.cores.size() >= kMaxCachedCores) {
+      st.cores.clear();  // fuzz-style queues with unbounded scheme churn
+      st.core = nullptr;
+    }
+    slot = &st.cores.emplace_back();
+    slot->scheme = spec.scheme;
+    slot->core = std::make_unique<MultithreadedCore>(
+        scheme.machine(), scheme.scheme(), scheme.plan(), cfg.priority,
+        *st.mem, cfg.miss_policy, options);
   } else {
-    st.core->reset(cfg.priority, cfg.miss_policy, options);
+    slot->core->reset(cfg.priority, cfg.miss_policy, options);
   }
+  st.core = slot->core.get();
 
-  // Thread contexts live in the arena and are rebound in place; contexts
-  // beyond this job's pool stay constructed for later, wider jobs. Each
-  // context replays its stream from the batch-shared recording when one
-  // is available (small budgets), bit-identically to driving its own
-  // generator. The recordings are resolved once per workload (grids
-  // re-bind the same programs vector job after job).
-  const auto wkey =
-      std::make_tuple(static_cast<const void*>(spec.programs.data()),
-                      cfg.stream_seed_base, cfg.instruction_budget);
-  std::vector<const TraceReplay*>& replays = workload_replays_[wkey];
-  if (replays.size() != spec.programs.size()) {
-    replays.clear();
-    for (std::size_t i = 0; i < spec.programs.size(); ++i) {
-      const auto& prog = spec.programs[i];
+  // Workload binding: replay pointers (one lookup per workload, not per
+  // thread) and, lazily, the structural-ICache analysis. Keyed by the
+  // program identities so every job in a grid that references the same
+  // workload — whether through its own copy of the vector or a shared
+  // one — shares one binding and one analysis. The scratch key vector
+  // is a member, so steady-state prepares allocate nothing here.
+  const auto& progs = spec.progs();
+  const auto same_programs =
+      [&progs](const std::vector<std::shared_ptr<const SyntheticProgram>>&
+                   key_progs) {
+        if (key_progs.size() != progs.size()) return false;
+        for (std::size_t i = 0; i < progs.size(); ++i)
+          if (key_progs[i].get() != progs[i].get()) return false;
+        return true;
+      };
+  WorkloadBinding* bound = nullptr;
+  for (auto& [key, value] : workload_replays_) {
+    if (key.seed_base == cfg.stream_seed_base &&
+        key.budget == cfg.instruction_budget && same_programs(key.progs)) {
+      bound = &value;
+      break;
+    }
+  }
+  if (bound == nullptr) {
+    workload_replays_.emplace_back();
+    workload_replays_.back().first =
+        WorkloadKey{progs, cfg.stream_seed_base, cfg.instruction_budget};
+    bound = &workload_replays_.back().second;
+  }
+  WorkloadBinding& bind = *bound;
+  if (bind.replays.size() != progs.size()) {
+    bind.replays.clear();
+    bind.all_replayed = true;
+    bind.machines_uniform = true;
+    for (std::size_t i = 0; i < progs.size(); ++i) {
+      const auto& prog = progs[i];
       CVMT_CHECK(prog != nullptr);
+      bind.machines_uniform =
+          bind.machines_uniform && prog->machine() == progs[0]->machine();
       const std::uint64_t stream_seed =
           cfg.stream_seed_base + 0x1000ULL * i;
-      replays.push_back(
-          replay_for(prog, stream_seed, cfg.instruction_budget));
+      TraceReplay* replay =
+          replay_for(prog, stream_seed, cfg.instruction_budget);
+      bind.replays.push_back(replay);
+      bind.all_replayed = bind.all_replayed && replay != nullptr;
     }
   }
-  for (std::size_t i = 0; i < spec.programs.size(); ++i) {
-    const auto& prog = spec.programs[i];
-    CVMT_CHECK_MSG(prog->machine() == cfg.machine,
-                   "program compiled for a different machine");
-    const std::uint64_t stream_seed =
-        cfg.stream_seed_base + 0x1000ULL * i;
-    if (i < st.pool.size()) {
-      st.pool[i]->reset(prog->profile().name, prog, stream_seed,
-                        cfg.instruction_budget);
-    } else {
-      st.pool.push_back(arena_.create<ThreadContext>(
-          prog->profile().name, prog, stream_seed,
-          cfg.instruction_budget));
-    }
-    st.pool[i]->set_replay(replays[i]);
-  }
-  st.pool_size = spec.programs.size();
+  // Every program must match the job's machine; the binding memoizes
+  // program-to-program uniformity, leaving one compare per job.
+  CVMT_CHECK_MSG(bind.machines_uniform &&
+                     progs[0]->machine() == cfg.machine,
+                 "program compiled for a different machine");
+  st.pool_size = progs.size();
 
   if (!st.policy || st.policy_kind != cfg.switch_policy) {
     st.policy = make_switch_policy(cfg.switch_policy, cfg.os_seed);
@@ -130,12 +175,90 @@ void SimBatch::prepare(std::size_t lane, std::size_t job) {
     const auto skey =
         std::make_tuple(cfg.switch_policy, cfg.os_seed,
                         static_cast<int>(st.pool_size), st.core->num_slots());
-    std::unique_ptr<SwitchReplay>& slot = switch_replays_[skey];
-    if (!slot)
-      slot = std::make_unique<SwitchReplay>(
-          cfg.switch_policy, cfg.os_seed, static_cast<int>(st.pool_size),
-          st.core->num_slots());
-    st.sreplay = slot.get();
+    if (st.sr_hit != nullptr && skey == st.sr_key) {
+      st.sreplay = st.sr_hit;
+    } else {
+      std::unique_ptr<SwitchReplay>& slot = switch_replays_[skey];
+      if (!slot)
+        slot = std::make_unique<SwitchReplay>(
+            cfg.switch_policy, cfg.os_seed, static_cast<int>(st.pool_size),
+            st.core->num_slots());
+      st.sreplay = slot.get();
+      st.sr_key = skey;
+      st.sr_hit = st.sreplay;
+    }
+  }
+
+  // Kernel selection. Structural ICache needs every thread on the replay
+  // path plus the analysis verdict; the fused window kernel additionally
+  // needs the recorded switch picks (an oblivious policy) and the plain
+  // shared-unbanked DCache its inlined consume models (no L2 and no
+  // perfect memory are already part of the structural gates).
+  const bool structural = kernels_enabled_ && bind.all_replayed &&
+                          structural_for(bind, spec);
+  st.fused =
+      structural && st.sreplay != nullptr && cfg.mem.dcache_banks == 1;
+  st.structural = structural && !st.fused;
+
+  if (st.fused) {
+    // No context churn at all: the kernel's dense per-thread arrays are
+    // the run state. The pool keeps whatever earlier jobs built — a later
+    // generic job rebinds it as usual.
+    const std::uint32_t line_shift = static_cast<std::uint32_t>(
+        std::countr_zero(cfg.mem.icache.line_bytes));
+    const std::size_t n = st.pool_size;
+    st.f_replay.assign(bind.replays.begin(), bind.replays.end());
+    st.f_ft.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      st.f_ft[i] = first_touch_for(bind.replays[i], line_shift,
+                                   cfg.instruction_budget);
+    }
+    st.f_pos.assign(n, 0);
+    st.f_ready.assign(n, 0);
+    st.f_fp.assign(n, nullptr);
+    st.f_entry.assign(n, nullptr);
+    st.f_done.assign(n, 0);
+    st.f_stats.assign(n, ThreadStats{});
+    st.f_imiss.assign(n, 0);
+    st.f_slot.fill(-1);
+    st.f_budget = cfg.instruction_budget;
+    st.f_ipen = cfg.mem.icache.miss_penalty;
+    st.f_dpen = cfg.mem.dcache.miss_penalty;
+    st.f_bpen = cfg.machine.taken_branch_penalty;
+    st.f_miss_policy = cfg.miss_policy;
+    st.f_stall_ff = cfg.stall_fast_forward;
+    st.f_dcache = &st.mem->shared_dcache();
+    st.f_ops = st.f_instr = st.f_idle = 0;
+    ++kernel_stats_.fused_jobs;
+  } else {
+    // Thread contexts live in the arena and are rebound in place;
+    // contexts beyond this job's pool stay constructed for later, wider
+    // jobs. Each context replays its stream from the batch-shared
+    // recording when one is available (small budgets), bit-identically
+    // to driving its own generator.
+    const std::uint32_t line_shift = static_cast<std::uint32_t>(
+        std::countr_zero(cfg.mem.icache.line_bytes));
+    for (std::size_t i = 0; i < progs.size(); ++i) {
+      const auto& prog = progs[i];
+      const std::uint64_t stream_seed =
+          cfg.stream_seed_base + 0x1000ULL * i;
+      if (i < st.pool.size()) {
+        st.pool[i]->reset(prog->profile().name, prog, stream_seed,
+                          cfg.instruction_budget);
+      } else {
+        st.pool.push_back(arena_.create<ThreadContext>(
+            prog->profile().name, prog, stream_seed,
+            cfg.instruction_budget));
+      }
+      st.pool[i]->set_replay(bind.replays[i]);
+      if (st.structural)
+        st.pool[i]->set_structural_fetch(
+            first_touch_for(bind.replays[i], line_shift,
+                            cfg.instruction_budget),
+            cfg.mem.icache.miss_penalty);
+    }
+    ++(st.structural ? kernel_stats_.structural_jobs
+                     : kernel_stats_.generic_jobs);
   }
 
   cycle_[lane] = 0;
@@ -180,7 +303,184 @@ void SimBatch::reschedule(std::size_t lane) {
   ++timeslices_[lane];
 }
 
+void SimBatch::reschedule_fused(std::size_t lane) {
+  // The sreplay branch of reschedule(), mapped onto the kernel's dense
+  // slot array: pool indices for slots 0..take, -1 beyond. Pool pointers
+  // are distinct per index, so index comparison counts exactly the
+  // switches the pointer comparison would.
+  Lane& st = lane_state_[lane];
+  const int slots = st.core->num_slots();
+  const std::uint64_t w = timeslices_[lane];
+  st.sreplay->ensure(w + 1);
+  const std::uint8_t* row = st.sreplay->window(w);
+  const std::size_t take = st.sreplay->take();
+  for (int s = 0; s < slots; ++s) {
+    const std::int16_t next =
+        static_cast<std::size_t>(s) < take
+            ? static_cast<std::int16_t>(row[static_cast<std::size_t>(s)])
+            : std::int16_t{-1};
+    if (st.f_slot[static_cast<std::size_t>(s)] != next) ++switches_[lane];
+    st.f_slot[static_cast<std::size_t>(s)] = next;
+  }
+  ++timeslices_[lane];
+}
+
+bool SimBatch::step_window_fused(std::size_t lane) {
+  Lane& st = lane_state_[lane];
+  std::uint64_t cycle = cycle_[lane];
+  const std::uint64_t timeslice = timeslice_[lane];
+  const std::uint64_t max_cycles = max_cycles_[lane];
+  if (cycle >= max_cycles) return false;
+  if (cycle % timeslice == 0) reschedule_fused(lane);
+  const std::uint64_t end =
+      std::min(max_cycles, cycle - cycle % timeslice + timeslice);
+
+  MergeEngine& engine = st.core->engine_mut();
+  SetAssocCache& dcache = *st.f_dcache;
+  const int n = st.core->num_slots();
+  constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  const std::uint64_t ipen = static_cast<std::uint64_t>(st.f_ipen);
+  const int dpen = st.f_dpen;
+  const std::uint64_t bpen = static_cast<std::uint64_t>(st.f_bpen);
+  const bool serialized = st.f_miss_policy == MissPolicy::kSerialized;
+
+  // Remap the persistent per-thread state (tentpole: it survives windows
+  // and harvest-and-refill in the f_* arrays) into per-slot views — the
+  // cheap, dense equivalent of run_until's context polling. f_fp[t] is
+  // null exactly when the thread owes a refill (issued last cycle, or
+  // never ran).
+  std::array<const Footprint*, kMaxThreads> fps;
+  std::array<std::uint64_t, kMaxThreads> ready;
+  std::array<const Footprint*, kMaxThreads> offers;
+  std::array<int, kMaxThreads> tid;
+  std::uint32_t refill_mask = 0;
+  for (int s = 0; s < n; ++s) {
+    const auto us = static_cast<std::size_t>(s);
+    const int t = st.f_slot[us];
+    tid[us] = t;
+    fps[us] = nullptr;
+    ready[us] = kNever;
+    if (t < 0 || st.f_done[static_cast<std::size_t>(t)] != 0) continue;
+    const auto ut = static_cast<std::size_t>(t);
+    if (st.f_fp[ut] != nullptr) {
+      fps[us] = st.f_fp[ut];
+      ready[us] = st.f_ready[ut];
+    } else {
+      refill_mask |= 1u << static_cast<unsigned>(s);
+    }
+  }
+  const std::span<const Footprint* const> cand_span(
+      offers.data(), static_cast<std::size_t>(n));
+
+  bool any_done = false;
+  while (cycle < end) {
+    // Inlined ThreadContext::refill, structural-fetch flavour: next
+    // recorded entry, first-touch bit instead of a cache walk. Ascending
+    // slot order, as in run_until.
+    while (refill_mask != 0) {
+      const int s = std::countr_zero(refill_mask);
+      refill_mask &= refill_mask - 1;
+      const auto us = static_cast<std::size_t>(s);
+      const auto t = static_cast<std::size_t>(tid[us]);
+      const std::uint64_t pos = st.f_pos[t]++;
+      const TraceReplay::Entry& e = st.f_replay[t]->entry(pos);
+      st.f_fp[t] = e.fp;
+      st.f_entry[t] = &e;
+      fps[us] = e.fp;
+      std::uint64_t r = st.f_ready[t];
+      if (st.f_ft[t]->miss(pos)) {
+        r = std::max(r, cycle) + ipen;
+        st.f_stats[t].icache_stall_cycles += ipen;
+        ++st.f_imiss[t];
+        st.f_ready[t] = r;
+      }
+      ready[us] = r;
+    }
+
+    int num_offers = 0;
+    int only_offer = -1;
+    for (int s = 0; s < n; ++s) {
+      const auto us = static_cast<std::size_t>(s);
+      const Footprint* fp = cycle >= ready[us] ? fps[us] : nullptr;
+      offers[us] = fp;
+      if (fp != nullptr) {
+        ++num_offers;
+        only_offer = s;
+      }
+    }
+
+    if (num_offers != 0) {
+      // The decision routes through the lane's own engine — identical
+      // rotation state, identical statistics — only the per-thread issue
+      // bookkeeping (ThreadContext::consume) is inlined below.
+      std::uint32_t mask =
+          engine.select_mask_gathered(cand_span, num_offers, only_offer);
+      while (mask != 0) {
+        const int s = std::countr_zero(mask);
+        mask &= mask - 1;
+        const auto us = static_cast<std::size_t>(s);
+        const auto t = static_cast<std::size_t>(tid[us]);
+        ThreadStats& ts = st.f_stats[t];
+        const TraceReplay& rp = *st.f_replay[t];
+        const TraceReplay::Entry& e = *st.f_entry[t];
+        ++ts.instructions;
+        ts.ops += e.op_count;
+        if (e.empty) ++ts.bubbles;
+        // Shared unbanked DCache, no L2: a miss costs exactly dpen, so
+        // the serialized/overlapped fold collapses to total-vs-any.
+        int dmiss_total = 0;
+        int dmiss_max = 0;
+        const std::uint64_t* addrs = rp.mem_addrs(e);
+        for (int k = 0; k < static_cast<int>(e.mem_count); ++k) {
+          if (!dcache.access(addrs[k])) {
+            dmiss_total += dpen;
+            dmiss_max = dpen;
+          }
+        }
+        const int dmiss = serialized ? dmiss_total : dmiss_max;
+        std::uint64_t stall = 1 + static_cast<std::uint64_t>(dmiss);
+        ts.dcache_stall_cycles += static_cast<std::uint64_t>(dmiss);
+        if (e.taken) {
+          ++ts.taken_branches;
+          stall += bpen;
+          ts.branch_stall_cycles += bpen;
+        }
+        st.f_ops += e.op_count;
+        ++st.f_instr;
+        st.f_ready[t] = cycle + stall;
+        st.f_fp[t] = nullptr;
+        ready[us] = kNever;
+        if (ts.instructions >= st.f_budget) {
+          st.f_done[t] = 1;
+          any_done = true;
+        } else {
+          refill_mask |= 1u << static_cast<unsigned>(s);
+        }
+      }
+      ++cycle;
+      if (any_done) break;
+      continue;
+    }
+
+    // All-stalled fast-forward, exactly as in run_until.
+    std::uint64_t next = end;
+    if (st.f_stall_ff) {
+      for (int s = 0; s < n; ++s)
+        next = std::min(next, ready[static_cast<std::size_t>(s)]);
+      next = std::max(next, cycle + 1);
+    } else {
+      next = cycle + 1;
+    }
+    st.f_idle += next - cycle;
+    cycle = next;
+  }
+  cycle_[lane] = cycle;
+  if (any_done) return false;  // the finishing cycle is already counted
+  return cycle < max_cycles;
+}
+
 bool SimBatch::step_window(std::size_t lane) {
+  if (lane_state_[lane].fused) return step_window_fused(lane);
   // One iteration of OsScheduler::run's loop: reschedule at the slice
   // boundary, hand the clamped window to the core (which fast-forwards
   // all-stalled stretches inside it), stop on first completion.
@@ -206,22 +506,50 @@ SimResult SimBatch::harvest(std::size_t lane) {
   SimResult r;
   r.scheme = spec.scheme->scheme().name();
   r.cycles = cycle_[lane];
-  r.total_ops = core.stats().total_ops;
-  r.total_instructions = core.stats().total_instructions;
-  r.idle_cycles = core.stats().idle_cycles;
+  if (st.fused) {
+    r.total_ops = st.f_ops;
+    r.total_instructions = st.f_instr;
+    r.idle_cycles = st.f_idle;
+  } else {
+    r.total_ops = core.stats().total_ops;
+    r.total_instructions = core.stats().total_instructions;
+    r.idle_cycles = core.stats().idle_cycles;
+  }
   r.ipc = r.cycles ? static_cast<double>(r.total_ops) /
                          static_cast<double>(r.cycles)
                    : 0.0;
+  r.threads.reserve(st.pool_size);
   for (std::size_t i = 0; i < st.pool_size; ++i) {
-    const ThreadContext& t = *st.pool[i];
     ThreadResult tr;
-    tr.benchmark = t.name();
-    tr.instructions = t.stats().instructions;
-    tr.ops = t.stats().ops;
-    tr.stats = t.stats();
+    if (st.fused) {
+      tr.benchmark = spec.progs()[i]->profile().name;
+      tr.instructions = st.f_stats[i].instructions;
+      tr.ops = st.f_stats[i].ops;
+      tr.stats = st.f_stats[i];
+    } else {
+      const ThreadContext& t = *st.pool[i];
+      tr.benchmark = t.name();
+      tr.instructions = t.stats().instructions;
+      tr.ops = t.stats().ops;
+      tr.stats = t.stats();
+    }
     r.threads.push_back(std::move(tr));
   }
-  r.icache = st.mem->icache_stats();
+  if (st.fused || st.structural) {
+    // Structural fetch mode never walked the ICache; its stats are the
+    // per-thread fetch/first-touch counts (one fetch per refill, a miss
+    // exactly on a first touch — what the live walk would have counted).
+    RatioCounter ic;
+    std::uint64_t misses = 0;
+    for (std::size_t i = 0; i < st.pool_size; ++i) {
+      ic.total += st.fused ? st.f_pos[i] : st.pool[i]->structural_fetches();
+      misses += st.fused ? st.f_imiss[i] : st.pool[i]->structural_misses();
+    }
+    ic.hits = ic.total - misses;
+    r.icache = ic;
+  } else {
+    r.icache = st.mem->icache_stats();
+  }
   r.dcache = st.mem->dcache_stats();
   r.l2 = st.mem->l2_stats();
   r.issued_per_cycle = core.engine().issued_histogram();
@@ -230,7 +558,35 @@ SimResult SimBatch::harvest(std::size_t lane) {
   return r;
 }
 
-const TraceReplay* SimBatch::replay_for(
+bool SimBatch::structural_for(WorkloadBinding& bind,
+                              const BatchRunSpec& spec) {
+  const SimConfig& cfg = spec.config;
+  for (const auto& [mem, eligible] : bind.structural)
+    if (mem == cfg.mem) return eligible;
+  // The exact recorded variant, not the static one: loop code regions
+  // alias in cache sets (4KB apart vs a 16KB set period), so whole
+  // programs rarely pass the static test — but the lines a budget-bounded
+  // run can actually fetch are right there in the recordings this path
+  // already requires. Memoized per memory config; the binding key pins
+  // (programs, seed base, budget), everything the verdict depends on.
+  const bool eligible =
+      analyze_icache_structural_recorded(bind.replays,
+                                         cfg.instruction_budget, cfg.mem)
+          .eligible;
+  bind.structural.emplace_back(cfg.mem, eligible);
+  return eligible;
+}
+
+const FirstTouchIndex* SimBatch::first_touch_for(TraceReplay* replay,
+                                                 std::uint32_t line_shift,
+                                                 std::uint64_t budget) {
+  replay_bytes_ -= replay->bytes();
+  const FirstTouchIndex& ft = replay->first_touch(line_shift, budget);
+  replay_bytes_ += replay->bytes();
+  return &ft;
+}
+
+TraceReplay* SimBatch::replay_for(
     const std::shared_ptr<const SyntheticProgram>& program,
     std::uint64_t stream_seed, std::uint64_t budget) {
   if (budget > kReplayBudgetCap) return nullptr;
@@ -254,29 +610,33 @@ std::vector<SimResult> SimBatch::run_all() {
   std::vector<SimResult> results(jobs_.size());
   const std::size_t num_lanes = lane_state_.size();
 
-  // No context is mid-run between run_all calls, so an over-budget
-  // recording cache can be dropped safely here. The per-workload pointer
-  // memo always restarts: programs from earlier queues may be gone, and
-  // a new vector at a recycled address must not re-match.
-  workload_replays_.clear();
-  if (replay_bytes_ > kReplayByteCap / 2) {
-    replays_.clear();
-    replay_bytes_ = 0;
+  // No context is mid-run between run_all calls, so over-budget caches
+  // can be dropped safely here. The workload memo survives run_all (its
+  // keys own their programs, so stale-address re-matches are impossible)
+  // but points into replays_, so it must go whenever the recordings go —
+  // and when workload churn trips its own cap.
+  if (workload_replays_.size() > kMaxWorkloadBindings ||
+      replay_bytes_ > kReplayByteCap / 2) {
+    workload_replays_.clear();
+    if (replay_bytes_ > kReplayByteCap / 2) {
+      replays_.clear();
+      replay_bytes_ = 0;
+    }
   }
   // Pending jobs, consumed from `head`. A freed lane prefers a job whose
-  // scheme matches its built core (bounded look-ahead) so scheme-major
-  // grids reset cores in place instead of re-emplacing them; results are
-  // job-indexed, so the pick order never shows in the output.
+  // scheme already has a cached core in this lane (bounded look-ahead) so
+  // interleaved grids reset cores in place instead of constructing them;
+  // results are job-indexed, so the pick order never shows in the output.
   std::vector<std::size_t> pending(jobs_.size());
   for (std::size_t j = 0; j < pending.size(); ++j) pending[j] = j;
   std::size_t head = 0;
   const auto take_next = [&](std::size_t lane) {
-    const Lane& st = lane_state_[lane];
-    if (st.core) {
+    Lane& st = lane_state_[lane];
+    if (!st.cores.empty()) {
       const std::size_t end =
           std::min(pending.size(), head + kAffinityWindow);
       for (std::size_t p = head; p < end; ++p) {
-        if (jobs_[pending[p]].scheme->key() == st.scheme_key) {
+        if (st.find_core(jobs_[pending[p]].scheme.get()) != nullptr) {
           std::swap(pending[p], pending[head]);
           break;
         }

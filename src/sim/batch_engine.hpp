@@ -42,8 +42,29 @@
 // work across independent runs, never the cycle-level decisions inside
 // one run (batch_engine_test pins this across lane counts, machines and
 // switch policies).
+// Batch-only cycle-loop kernels (see DESIGN.md §13). On top of the
+// lockstep machinery, jobs that qualify run specialized code paths that
+// stay bit-identical to the generic one:
+//
+//   * Structurally-eviction-free ICache (src/mem/icache_structural):
+//     when the workload's recorded fetch-line sets are disjoint per
+//     thread and no set is over-subscribed, hit/miss is the recording's
+//     first-touch bit and the fetch-path cache walk disappears.
+//   * A fused replay window kernel for the shared-unbanked-no-L2 replay
+//     configs: refill + consume + merge-select inlined into one loop
+//     over dense per-thread arrays, no ThreadContext dispatch at all.
+//     Merge decisions still route through the lane's own MergeEngine,
+//     so rotation and statistics are the generic path's exactly.
+//   * Slot-state persistence: the fused kernel's ready/footprint state
+//     and the recorded switch-policy cursors live in lane-persistent
+//     arrays that survive windows and harvest-and-refill.
+//
+// CVMT_BATCH_KERNELS=off (or set_kernels_enabled(false)) forces every
+// job onto the generic path; the fuzz oracle and CI byte-compare the
+// two modes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -62,10 +83,21 @@ namespace cvmt {
 
 /// One queued simulation: compiled scheme, materialized programs, knobs.
 /// The machine of `config` must equal the compiled scheme's machine.
+/// Grid submitters that enqueue the same workload many times should set
+/// `shared_programs` (e.g. aliasing the CompiledWorkload's vector) —
+/// one refcount bump per job instead of copying the vector; `programs`
+/// stays for one-off callers. When both are set, `shared_programs` wins.
 struct BatchRunSpec {
   std::shared_ptr<const CompiledScheme> scheme;
   std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  std::shared_ptr<const std::vector<std::shared_ptr<const SyntheticProgram>>>
+      shared_programs;
   SimConfig config;
+
+  [[nodiscard]] const std::vector<std::shared_ptr<const SyntheticProgram>>&
+  progs() const {
+    return shared_programs != nullptr ? *shared_programs : programs;
+  }
 };
 
 /// A pool of `lanes` lockstep run states draining a job queue.
@@ -95,6 +127,27 @@ class SimBatch {
   /// Arena footprint of the per-run state (diagnostics/benchmarks).
   [[nodiscard]] const Arena& arena() const { return arena_; }
 
+  /// Hard lane-pool ceiling; the arg layer validates --lanes against it.
+  static constexpr int kMaxLanes = 4096;
+
+  /// Batch-only specialized kernels (structural ICache + fused window).
+  /// Default from CVMT_BATCH_KERNELS (on|off; on unless set). Results are
+  /// bit-identical either way — the knob exists for verification and for
+  /// measuring the kernels' contribution.
+  void set_kernels_enabled(bool on) { kernels_enabled_ = on; }
+  [[nodiscard]] bool kernels_enabled() const { return kernels_enabled_; }
+
+  /// Which path each job ran, accumulated across run_all calls (the
+  /// bench's kernel-coverage decomposition).
+  struct KernelStats {
+    std::uint64_t fused_jobs = 0;       ///< fused replay window kernel
+    std::uint64_t structural_jobs = 0;  ///< structural ICache, generic loop
+    std::uint64_t generic_jobs = 0;     ///< fully generic path
+  };
+  [[nodiscard]] const KernelStats& kernel_stats() const {
+    return kernel_stats_;
+  }
+
  private:
   /// Per-lane heavy state. The memory system and core are re-emplaced in
   /// place only when the incoming job changes memory geometry or scheme;
@@ -103,7 +156,29 @@ class SimBatch {
   struct Lane {
     std::size_t job = 0;  ///< index into jobs_ / results slot
     std::optional<MemorySystem> mem;
-    std::optional<MultithreadedCore> core;
+    /// Constructed cores, cached per compiled-scheme identity.
+    /// Construction is the dominant per-job cost at small budgets
+    /// (~35us vs ~4us for the whole run at budget 40), so a 16-scheme
+    /// grid cycling through a lane constructs each core once and resets
+    /// it thereafter — the same reset-equals-fresh contract the old
+    /// keep-if-same-scheme logic relied on, generalized to every scheme
+    /// the lane has seen. Keyed by the CompiledScheme pointer (each
+    /// entry pins its scheme, so the address cannot be recycled while
+    /// cached) and scanned linearly: grids hold a handful of schemes
+    /// and a pointer compare beats a string-keyed map walk in the
+    /// per-job hot path. All cores reference this lane's `mem` payload,
+    /// whose address is stable across optional re-emplacement.
+    struct CoreSlot {
+      std::shared_ptr<const CompiledScheme> scheme;
+      std::unique_ptr<MultithreadedCore> core;
+    };
+    std::vector<CoreSlot> cores;
+    [[nodiscard]] CoreSlot* find_core(const CompiledScheme* scheme) {
+      for (CoreSlot& slot : cores)
+        if (slot.scheme.get() == scheme) return &slot;
+      return nullptr;
+    }
+    MultithreadedCore* core = nullptr;  ///< current job's entry in cores
     /// Arena-constructed contexts, recycled across jobs. The first
     /// `pool_size` entries are the current job's software threads; any
     /// further entries stay constructed (idle) for reuse by later jobs.
@@ -115,10 +190,69 @@ class SimBatch {
     /// pool size, slots); nullptr when the policy is not oblivious (the
     /// live policy decides then).
     SwitchReplay* sreplay = nullptr;
+    /// Memo of the last switch_replays_ lookup: consecutive jobs in a
+    /// grid mostly share the key, so four scalar compares replace the
+    /// map walk. sr_hit is only read when the key matches, and entries
+    /// are never removed from switch_replays_ while a batch lives.
+    std::tuple<SwitchPolicyKind, std::uint64_t, int, int> sr_key{};
+    SwitchReplay* sr_hit = nullptr;
     std::vector<ThreadContext*> next;  ///< reschedule scratch
-    /// Reuse keys of the heavy state currently constructed in this lane.
-    std::string scheme_key;
+    /// Reuse key of the memory system currently constructed in this lane.
     MemorySystemConfig mem_cfg;
+
+    /// Kernel selection for the current job (see prepare): `fused` runs
+    /// step_window_fused over the f_* arrays below; `structural` runs the
+    /// generic loop with contexts in structural-fetch mode; neither = the
+    /// fully generic path.
+    bool fused = false;
+    bool structural = false;
+
+    // --- fused-kernel state --------------------------------------------
+    // Per-job constants, hoisted out of the cycle loop.
+    std::uint64_t f_budget = 0;
+    int f_ipen = 0;  ///< ICache miss penalty
+    int f_dpen = 0;  ///< DCache miss penalty
+    int f_bpen = 0;  ///< taken-branch penalty
+    MissPolicy f_miss_policy = MissPolicy::kSerialized;
+    bool f_stall_ff = true;
+    SetAssocCache* f_dcache = nullptr;  ///< the one shared DCache
+    /// Per software thread (size pool_size), persistent across windows
+    /// and across the OS descheduling a thread: replay cursor, ready
+    /// cycle, pending footprint (null = needs refill), done flag, stats,
+    /// structural fetch-miss count. The ThreadContext-equivalent state,
+    /// flattened to dense arrays the window kernel indexes directly.
+    std::vector<const TraceReplay*> f_replay;
+    std::vector<const FirstTouchIndex*> f_ft;
+    std::vector<std::uint64_t> f_pos;
+    std::vector<std::uint64_t> f_ready;
+    std::vector<const Footprint*> f_fp;
+    /// Entry behind f_fp (same refill), so consume reads the issue's
+    /// op/branch/memory metadata without re-indexing the replay.
+    std::vector<const TraceReplay::Entry*> f_entry;
+    std::vector<std::uint8_t> f_done;
+    std::vector<ThreadStats> f_stats;
+    std::vector<std::uint64_t> f_imiss;
+    /// Pool index resident in each hardware slot (-1 = idle slot).
+    std::array<std::int16_t, kMaxThreads> f_slot{};
+    /// Lane-level core counters (the CoreStats equivalents the fused
+    /// kernel accumulates instead of core->stats()).
+    std::uint64_t f_ops = 0;
+    std::uint64_t f_instr = 0;
+    std::uint64_t f_idle = 0;
+  };
+
+  /// Per-workload resolution memo: replay pointers and the
+  /// structural-ICache verdict per memory config. Grids re-bind the same
+  /// programs vector job after job; everything here is computed once per
+  /// workload instead of once per job.
+  struct WorkloadBinding {
+    std::vector<TraceReplay*> replays;
+    bool all_replayed = false;
+    /// All programs compiled for the same machine (checked once per
+    /// binding; each job then compares one program against its config
+    /// instead of all of them).
+    bool machines_uniform = false;
+    std::vector<std::pair<MemorySystemConfig, bool>> structural;
   };
 
   /// Binds jobs_[job] onto `lane`: resets or re-emplaces the heavy state,
@@ -128,13 +262,34 @@ class SimBatch {
 
   /// Advances one timeslice window (the body of OsScheduler::run's
   /// while-iteration). Returns false once the run finished — a thread
-  /// completed its budget or the cycle limit was reached.
+  /// completed its budget or the cycle limit was reached. Dispatches to
+  /// step_window_fused for fused-kernel jobs.
   bool step_window(std::size_t lane);
+
+  /// The fused replay window kernel: one window of refill + consume +
+  /// merge-select inlined over the lane's f_* arrays. Bit-identical to
+  /// the generic window (same engine, same DCache access order, same
+  /// fast-forward arithmetic).
+  bool step_window_fused(std::size_t lane);
 
   /// Applies the lane policy's pick at a slice boundary (the
   /// OsScheduler::reschedule equivalent, accumulating into the SoA OS
   /// counters).
   void reschedule(std::size_t lane);
+
+  /// reschedule() for fused jobs: replays the recorded pick row into the
+  /// f_slot map (fused jobs always have a switch replay).
+  void reschedule_fused(std::size_t lane);
+
+  /// Memoized structural-ICache verdict for this job's workload x memory
+  /// config (exact recorded-line-set analysis; requires bind.all_replayed).
+  bool structural_for(WorkloadBinding& bind, const BatchRunSpec& spec);
+
+  /// First-touch flags of `replay` at `line_shift`, covering `budget`
+  /// entries, with the cache byte budget kept accurate.
+  const FirstTouchIndex* first_touch_for(TraceReplay* replay,
+                                         std::uint32_t line_shift,
+                                         std::uint64_t budget);
 
   /// Collects the finished lane's SimResult (field-for-field the
   /// construction at the end of SimInstance::run).
@@ -144,7 +299,7 @@ class SimBatch {
   /// `budget` instructions — or nullptr when the budget is over the
   /// recording cap or the cache is at its byte budget (the context then
   /// drives its own generator, bit-identically).
-  const TraceReplay* replay_for(
+  TraceReplay* replay_for(
       const std::shared_ptr<const SyntheticProgram>& program,
       std::uint64_t stream_seed, std::uint64_t budget);
 
@@ -158,6 +313,12 @@ class SimBatch {
   /// How far into the pending queue a freed lane looks for a job whose
   /// scheme matches its built core.
   static constexpr std::size_t kAffinityWindow = 64;
+  /// Per-lane cached-core cap; a grid has a handful of schemes, so this
+  /// only trips on fuzz-style queues with unbounded scheme churn.
+  static constexpr std::size_t kMaxCachedCores = 64;
+  /// Workload-binding memo cap; like the core cap, only workload churn
+  /// (fuzzing) ever reaches it, and a dropped memo merely re-analyzes.
+  static constexpr std::size_t kMaxWorkloadBindings = 256;
 
   int lanes_;
   Arena arena_;
@@ -184,15 +345,28 @@ class SimBatch {
       replays_;
   std::size_t replay_bytes_ = 0;
 
-  /// Resolved replay pointers per workload: grids re-bind the same
-  /// programs vector job after job, so prepare() does one lookup here
-  /// instead of one replays_ walk per thread. Keyed by the programs
-  /// array's identity + the knobs the resolution depends on; cleared at
-  /// every run_all entry, since only the current queue's jobs pin their
-  /// program vectors (a stale array pointer must never be re-matched).
-  std::map<std::tuple<const void*, std::uint64_t, std::uint64_t>,
-           std::vector<const TraceReplay*>>
-      workload_replays_;
+  /// Per-workload bindings (replays + structural analysis), keyed by the
+  /// identities of the programs themselves + the knobs the resolution
+  /// depends on. Keying by program identity (not the enqueued vector's
+  /// data address, which differs for every copied BatchRunSpec) lets the
+  /// whole scheme grid share one binding per workload, so the recorded
+  /// structural-ICache analysis runs once per workload instead of once
+  /// per job. A linearly scanned vector: a batch sees a handful of
+  /// workloads, and the scan compares two integers before it ever
+  /// touches the pointer vector. The key owns its programs, so a cached
+  /// entry can never be re-matched by a recycled address — which is
+  /// what lets the memo persist across run_all calls (repeated grids
+  /// skip re-analysis entirely). Dropped together with `replays_` (the
+  /// bindings point into it) and when the entry cap is hit.
+  struct WorkloadKey {
+    std::vector<std::shared_ptr<const SyntheticProgram>> progs;
+    std::uint64_t seed_base = 0;
+    std::uint64_t budget = 0;
+  };
+  std::vector<std::pair<WorkloadKey, WorkloadBinding>> workload_replays_;
+
+  bool kernels_enabled_ = true;  ///< ctor reads CVMT_BATCH_KERNELS
+  KernelStats kernel_stats_;
 
   /// Recorded pick sequences for oblivious switch policies, keyed by
   /// everything the sequence depends on. A 16-scheme grid has 2-4 distinct

@@ -35,6 +35,9 @@ void ThreadContext::reset(std::string_view name,
   stats_ = ThreadStats{};
   replay_ = nullptr;
   replay_pos_ = 0;
+  first_touch_ = nullptr;
+  icache_penalty_ = 0;
+  structural_misses_ = 0;
 }
 
 void ThreadContext::refill(std::uint64_t cycle, MemorySystem& mem,
@@ -42,13 +45,29 @@ void ThreadContext::refill(std::uint64_t cycle, MemorySystem& mem,
   std::uint64_t pc;
   if (replay_ != nullptr) {
     // The stream content comes from the recording; the fetch below stays
-    // live (hits depend on the cross-thread interleaving).
+    // live (hits depend on the cross-thread interleaving) — unless the
+    // batch proved the ICache structurally eviction free, in which case
+    // hit/miss is the recording's precomputed first-touch bit and the
+    // cache walk is skipped entirely (its only effect was unobservable
+    // LRU/tag state).
     CVMT_CHECK_MSG(replay_pos_ < replay_->recorded(),
                    "replay recording shorter than the thread's budget");
-    const TraceReplay::Entry& e = replay_->entry(replay_pos_++);
+    const std::uint64_t pos = replay_pos_++;
+    const TraceReplay::Entry& e = replay_->entry(pos);
     pending_ = nullptr;
     pending_fp_ = e.fp;
     pending_patches_ = nullptr;
+    if (first_touch_ != nullptr) {
+      has_pending_ = true;
+      if (first_touch_->miss(pos)) {
+        ready_at_ = std::max(ready_at_, cycle) +
+                    static_cast<std::uint64_t>(icache_penalty_);
+        stats_.icache_stall_cycles +=
+            static_cast<std::uint64_t>(icache_penalty_);
+        ++structural_misses_;
+      }
+      return;
+    }
     pc = e.pc;
   } else {
     if (gen_stale_) {

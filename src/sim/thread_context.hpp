@@ -17,6 +17,7 @@
 
 namespace cvmt {
 
+class FirstTouchIndex;
 class TraceReplay;
 
 /// How multiple DCache misses inside one issued packet are charged.
@@ -73,6 +74,32 @@ class ThreadContext {
   void set_replay(const TraceReplay* replay) {
     replay_ = replay;
     replay_pos_ = 0;
+    first_touch_ = nullptr;
+    icache_penalty_ = 0;
+    structural_misses_ = 0;
+  }
+
+  /// Structurally-eviction-free fetch mode (batch engine, replay runs
+  /// only): the caller has proven the shared ICache never evicts for this
+  /// workload, so refill() charges `miss_penalty` exactly when the
+  /// recording's first-touch bit is set instead of walking the cache —
+  /// bit-identical timing, and the per-thread fetch/miss counts feed the
+  /// harvested ICache stats (structural_fetches/structural_misses).
+  /// Requires an active set_replay(); cleared by set_replay()/reset().
+  void set_structural_fetch(const FirstTouchIndex* first_touch,
+                            int miss_penalty) {
+    first_touch_ = first_touch;
+    icache_penalty_ = miss_penalty;
+    structural_misses_ = 0;
+  }
+
+  /// Fetches performed so far on the replay path (one per refill).
+  [[nodiscard]] std::uint64_t structural_fetches() const {
+    return replay_pos_;
+  }
+  /// First-touch misses charged in structural fetch mode.
+  [[nodiscard]] std::uint64_t structural_misses() const {
+    return structural_misses_;
   }
 
   /// Offers this thread's next instruction for merging at `cycle`.
@@ -151,6 +178,10 @@ class ThreadContext {
   /// next entry to fetch. Null on the classic generator path.
   const TraceReplay* replay_ = nullptr;
   std::uint64_t replay_pos_ = 0;
+  /// Structural fetch mode (see set_structural_fetch); null = live cache.
+  const FirstTouchIndex* first_touch_ = nullptr;
+  int icache_penalty_ = 0;
+  std::uint64_t structural_misses_ = 0;
 
   ThreadStats stats_;
 };

@@ -142,6 +142,11 @@ OracleReport run_oracles_impl(const FuzzCase& c, ArtifactCache* artifacts) {
     const std::vector<std::shared_ptr<const SyntheticProgram>> programs =
         case_programs(c, artifacts);
 
+    const std::shared_ptr<const CompiledScheme> compiled =
+        artifacts != nullptr
+            ? artifacts->scheme(scheme, c.sim.machine)
+            : std::make_shared<const CompiledScheme>(scheme, c.sim.machine);
+
     SimConfig baseline_cfg = c.sim;
     baseline_cfg.stats = StatsLevel::kFull;
     baseline_cfg.eval_mode = EvalMode::kPlan;
@@ -153,9 +158,7 @@ OracleReport run_oracles_impl(const FuzzCase& c, ArtifactCache* artifacts) {
     // (mixed stats levels and eval modes on one instance) on every fuzz
     // case; the replay oracle below closes the loop against the
     // fresh-construction facade.
-    SimInstance instance(
-        std::make_shared<const CompiledScheme>(scheme, c.sim.machine),
-        baseline_cfg);
+    SimInstance instance(compiled, baseline_cfg);
     const SimResult baseline = instance.run(programs);
     ++report.simulations;
 
@@ -241,6 +244,37 @@ OracleReport run_oracles_impl(const FuzzCase& c, ArtifactCache* artifacts) {
     SimConfig spec_cfg = baseline_cfg;
     spec_cfg.eval_mode = EvalMode::kPlanSpecialized;
     check("baseline-vs-specialized", spec_cfg, /*compare_merge_stats=*/true);
+    if (!report.ok) return report;
+
+    // Oracle 6: the batch engine's specialized window kernels. A one-lane
+    // SimBatch with kernels forced on runs the baseline configuration
+    // (kFull — exercises the fused/structural kernels when the case is
+    // eligible, the generic window loop when not) and the fast-stats
+    // configuration; each must match the corresponding SimInstance run
+    // bit-for-bit. On kernel-ineligible cases this degenerates to a
+    // batch-vs-session identity check, so the row is never vacuous.
+    SimBatch kbatch(1);
+    kbatch.set_kernels_enabled(true);
+    for (const SimConfig* cfg : {&baseline_cfg, &fast_cfg}) {
+      BatchRunSpec spec;
+      spec.scheme = compiled;
+      spec.programs = programs;
+      spec.config = *cfg;
+      kbatch.enqueue(std::move(spec));
+    }
+    const std::vector<SimResult> kernel_results = kbatch.run_all();
+    record("baseline-vs-batch-kernels", kernel_results[0],
+           /*compare_merge_stats=*/true);
+    if (!report.ok) return report;
+    ++report.simulations;
+    const std::string kernel_fast_mismatch =
+        compare_sim_results(fast, kernel_results[1],
+                            /*compare_merge_stats=*/false);
+    if (!kernel_fast_mismatch.empty()) {
+      report.ok = false;
+      report.failed_oracle = "faststats-vs-batch-kernels";
+      report.mismatch = kernel_fast_mismatch;
+    }
   } catch (const CheckError& e) {
     report.ok = false;
     report.construction_error = e.what();
@@ -249,12 +283,13 @@ OracleReport run_oracles_impl(const FuzzCase& c, ArtifactCache* artifacts) {
 }
 
 /// The lanes>1 mode: the same six configurations, enqueued as six lanes
-/// of one SimBatch. The replay row is the baseline configuration enqueued
-/// a second time — two lanes of one batch share nothing but immutable
-/// artifacts, so lane-vs-lane identity doubles as the batch engine's
-/// determinism oracle. Comparison order and rules match the sequential
-/// path; all six simulations always run (the batch has no early-out), so
-/// `simulations` is 6 on clean and failing cases alike.
+/// of one SimBatch, plus the two kernel-flipped runs of oracle 6. The
+/// replay row is the baseline configuration enqueued a second time — two
+/// lanes of one batch share nothing but immutable artifacts, so
+/// lane-vs-lane identity doubles as the batch engine's determinism
+/// oracle. Comparison order and rules match the sequential path; the
+/// first six simulations always run (the batch has no early-out), so
+/// `simulations` matches the sequential path's 8 on clean cases.
 OracleReport run_oracles_batched(const FuzzCase& c, ArtifactCache* artifacts,
                                  unsigned lanes) {
   OracleReport report;
@@ -334,7 +369,34 @@ OracleReport run_oracles_batched(const FuzzCase& c, ArtifactCache* artifacts,
       }
     }
     if (!check("baseline-vs-replay", results[4], true)) return report;
-    check("baseline-vs-specialized", results[5], true);
+    if (!check("baseline-vs-specialized", results[5], true)) return report;
+
+    // Oracle 6: a second batch with the window kernels forced to the
+    // OPPOSITE of the ambient batch's setting reruns the baseline and
+    // fast-stats configurations — whichever way CVMT_BATCH_KERNELS points,
+    // the fuzz sweep always compares a kernels-on run against a
+    // kernels-off run of the same case. Two extra simulations, matching
+    // the sequential path's count so fuzz summaries agree across --lanes.
+    SimBatch flipped(static_cast<int>(lanes));
+    flipped.set_kernels_enabled(!batch.kernels_enabled());
+    for (const SimConfig* cfg : {&baseline_cfg, &fast_cfg}) {
+      BatchRunSpec spec;
+      spec.scheme = compiled;
+      spec.programs = programs;
+      spec.config = *cfg;
+      flipped.enqueue(std::move(spec));
+    }
+    const std::vector<SimResult> kernel_results = flipped.run_all();
+    report.simulations += static_cast<int>(kernel_results.size());
+    if (!check("baseline-vs-batch-kernels", kernel_results[0], true))
+      return report;
+    const std::string kernel_fast_mismatch = compare_sim_results(
+        results[3], kernel_results[1], /*compare_merge_stats=*/false);
+    if (!kernel_fast_mismatch.empty() && report.ok) {
+      report.ok = false;
+      report.failed_oracle = "faststats-vs-batch-kernels";
+      report.mismatch = kernel_fast_mismatch;
+    }
   } catch (const CheckError& e) {
     report.ok = false;
     report.construction_error = e.what();

@@ -29,4 +29,28 @@ void TraceReplay::ensure(std::uint64_t count) {
   }
 }
 
+const FirstTouchIndex& TraceReplay::first_touch(std::uint32_t line_shift,
+                                                std::uint64_t count) {
+  ensure(count);
+  FirstTouchIndex* index = nullptr;
+  for (const auto& ft : first_touch_)
+    if (ft->line_shift() == line_shift) index = ft.get();
+  if (index == nullptr) {
+    first_touch_.push_back(std::unique_ptr<FirstTouchIndex>(
+        new FirstTouchIndex(line_shift)));
+    index = first_touch_.back().get();
+  }
+  const std::uint64_t end = entries_.size();
+  if (index->covered_ < end) {
+    index->bits_.resize(static_cast<std::size_t>((end + 63) / 64), 0);
+    for (std::uint64_t i = index->covered_; i < end; ++i) {
+      const std::uint64_t line = entries_[i].pc >> line_shift;
+      if (index->seen_.insert(line).second)
+        index->bits_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+    index->covered_ = end;
+  }
+  return *index;
+}
+
 }  // namespace cvmt

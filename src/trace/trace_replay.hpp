@@ -19,11 +19,45 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "trace/trace_generator.hpp"
 
 namespace cvmt {
+
+/// Per-entry first-touch flags of one recorded stream at one cache-line
+/// granularity: bit i is set iff entry i's fetch line does not appear in
+/// entries [0, i). When the batch engine proves a workload's shared ICache
+/// structurally eviction-free, "first touch of the line" IS "ICache miss"
+/// — a pure property of the recording, independent of the cross-thread
+/// interleaving — so the fetch path reads one bit here instead of walking
+/// the cache. Owned by a TraceReplay (stable address; the bit array may
+/// grow in place as the recording extends, existing bits never change).
+class FirstTouchIndex {
+ public:
+  /// True iff recorded entry `i` is its thread's first fetch of its line.
+  [[nodiscard]] bool miss(std::uint64_t i) const {
+    return ((bits_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+  [[nodiscard]] std::uint32_t line_shift() const { return line_shift_; }
+  /// Entries covered so far (flags valid for i < covered()).
+  [[nodiscard]] std::uint64_t covered() const { return covered_; }
+  [[nodiscard]] std::size_t bytes() const {
+    return bits_.capacity() * sizeof(std::uint64_t) +
+           seen_.size() * 3 * sizeof(std::uint64_t);  // approx. node cost
+  }
+
+ private:
+  friend class TraceReplay;
+  explicit FirstTouchIndex(std::uint32_t line_shift)
+      : line_shift_(line_shift) {}
+
+  std::uint32_t line_shift_;
+  std::vector<std::uint64_t> bits_;
+  std::unordered_set<std::uint64_t> seen_;  ///< lines touched in [0, covered_)
+  std::uint64_t covered_ = 0;
+};
 
 /// One software thread's recorded stream. Grows lazily via ensure(); the
 /// embedded generator keeps its position so extension is incremental.
@@ -49,6 +83,15 @@ class TraceReplay {
   /// Extends the recording to at least `count` instructions.
   void ensure(std::uint64_t count);
 
+  /// First-touch flags of this recording at line granularity
+  /// `line_shift`, extended to cover at least `count` entries (the
+  /// recording itself is extended first if needed). The returned object's
+  /// address is stable for the TraceReplay's lifetime; a later wider call
+  /// only appends bits, so concurrent-in-time readers of lower indices
+  /// stay valid. One index per distinct line_shift is kept.
+  const FirstTouchIndex& first_touch(std::uint32_t line_shift,
+                                     std::uint64_t count);
+
   [[nodiscard]] const Entry& entry(std::uint64_t i) const {
     return entries_[i];
   }
@@ -58,14 +101,20 @@ class TraceReplay {
   [[nodiscard]] std::uint64_t recorded() const { return entries_.size(); }
   /// Approximate heap footprint, for the batch engine's cache budget.
   [[nodiscard]] std::size_t bytes() const {
-    return entries_.capacity() * sizeof(Entry) +
-           addrs_.capacity() * sizeof(std::uint64_t);
+    std::size_t total = entries_.capacity() * sizeof(Entry) +
+                        addrs_.capacity() * sizeof(std::uint64_t);
+    for (const auto& ft : first_touch_) total += ft->bytes();
+    return total;
   }
 
  private:
   TraceGenerator gen_;
   std::vector<Entry> entries_;
   std::vector<std::uint64_t> addrs_;
+  /// unique_ptr: ThreadContext and the fused kernel hold FirstTouchIndex
+  /// pointers across jobs, so the objects must not move when this vector
+  /// grows a new granularity.
+  std::vector<std::unique_ptr<FirstTouchIndex>> first_touch_;
 };
 
 }  // namespace cvmt

@@ -293,28 +293,47 @@ TEST_P(StandardKnobTest, EnvSuppliesValueAndCliOverrides) {
   }
 }
 
-// Lane counts must fail at resolve() time, before any sweep work: 0 and
-// non-powers-of-two are always typos, and the error must name the knob.
-TEST(LanesKnob, EagerValidationRejectsZeroAndNonPowerOfTwo) {
-  for (const char* bad : {"0", "3", "6", "5000"}) {
+// Lane counts must fail at resolve() time, before any sweep work, and
+// each class of mistake gets its own message: an explicit 0 (not an
+// "auto" spelling), values over the engine's lane-pool max, and
+// non-powers-of-two. Every message names the knob.
+TEST(LanesKnob, EagerValidationNamesEachMistake) {
+  struct BadLane {
+    const char* value;
+    const char* expect;
+  };
+  const BadLane bads[] = {
+      {"0", "must be >= 1"},
+      {"3", "power of two"},
+      {"6", "power of two"},
+      {"5000", "lane-pool max"},
+      {"8192", "lane-pool max"},
+  };
+  for (const BadLane& bad : bads) {
     ArgParser p("prog", "");
     ExperimentParams::add_standard_flags(p);
-    const std::string flag = std::string("--lanes=") + bad;
+    const std::string flag = std::string("--lanes=") + bad.value;
     const char* argv[] = {"prog", flag.c_str()};
     ASSERT_EQ(p.parse(2, argv), ArgParser::Outcome::kOk);
     try {
       (void)ExperimentParams::resolve(p);
-      FAIL() << "--lanes=" << bad << " should have been rejected";
+      FAIL() << "--lanes=" << bad.value << " should have been rejected";
     } catch (const CheckError& e) {
-      EXPECT_NE(std::string(e.what()).find("power of two"),
-                std::string::npos);
+      const std::string what = e.what();
+      EXPECT_NE(what.find(bad.expect), std::string::npos) << what;
+      EXPECT_NE(what.find("--lanes/CVMT_BATCH_LANES"), std::string::npos)
+          << what;
     }
   }
-  ArgParser p("prog", "");
-  ExperimentParams::add_standard_flags(p);
-  const char* argv[] = {"prog", "--lanes=8"};
-  ASSERT_EQ(p.parse(2, argv), ArgParser::Outcome::kOk);
-  EXPECT_EQ(ExperimentParams::resolve(p).cfg.batch.lanes, 8u);
+  for (const char* good : {"8", "4096"}) {
+    ArgParser p("prog", "");
+    ExperimentParams::add_standard_flags(p);
+    const std::string flag = std::string("--lanes=") + good;
+    const char* argv[] = {"prog", flag.c_str()};
+    ASSERT_EQ(p.parse(2, argv), ArgParser::Outcome::kOk);
+    EXPECT_EQ(ExperimentParams::resolve(p).cfg.batch.lanes,
+              std::strtoull(good, nullptr, 10));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

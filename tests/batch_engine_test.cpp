@@ -20,6 +20,7 @@
 #include "support/rng.hpp"
 #include "testgen/generators.hpp"
 #include "testgen/oracle.hpp"
+#include "trace/benchmark_suite.hpp"
 
 namespace cvmt {
 namespace {
@@ -167,6 +168,68 @@ TEST(BatchEngine, EnqueueValidatesEagerly) {
   EXPECT_THROW(batch.enqueue(no_scheme), CheckError);
 
   EXPECT_THROW(SimBatch(0), CheckError);
+}
+
+// The specialized window kernels (structural ICache + fused replay,
+// CVMT_BATCH_KERNELS) forced on and forced off must both reproduce the
+// sequential reference bit-for-bit on a mixed fuzz bag, and the
+// per-path job accounting must cover every job exactly once.
+TEST(BatchEngine, KernelsOnOffBitIdentical) {
+  const std::vector<CaseJob> jobs = build_case_jobs(0xD00Du, 8);
+  for (const int lanes : {1, 4}) {
+    for (const bool kernels : {true, false}) {
+      SimBatch batch(lanes);
+      batch.set_kernels_enabled(kernels);
+      for (const CaseJob& job : jobs) batch.enqueue(job.spec);
+      const std::vector<SimResult> results = batch.run_all();
+      ASSERT_EQ(results.size(), jobs.size());
+      for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(compare_sim_results(jobs[i].reference, results[i],
+                                      /*compare_merge_stats=*/true),
+                  "")
+            << "kernels=" << kernels << " lanes=" << lanes << " job=" << i;
+      const SimBatch::KernelStats& ks = batch.kernel_stats();
+      EXPECT_EQ(ks.fused_jobs + ks.structural_jobs + ks.generic_jobs,
+                jobs.size())
+          << "kernels=" << kernels << " lanes=" << lanes;
+      if (!kernels) {
+        EXPECT_EQ(ks.fused_jobs, 0u);
+        EXPECT_EQ(ks.structural_jobs, 0u);
+      }
+    }
+  }
+}
+
+// Slot-state persistence (the fused kernel's per-thread cursors live in
+// lane arrays, not contexts): more software threads than hardware slots
+// and a tiny timeslice force constant deschedule/reschedule churn across
+// hundreds of windows; every cursor must survive it bit-exactly.
+TEST(BatchEngine, FusedSlotStatePersistsAcrossWindows) {
+  const Scheme scheme = Scheme::parse("2SC");
+  SimConfig cfg;
+  cfg.instruction_budget = 3000;
+  cfg.timeslice_cycles = 37;
+  cfg.stats = StatsLevel::kFull;
+  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  for (const std::string& name : table2_workloads().front().benchmarks)
+    programs.push_back(std::make_shared<const SyntheticProgram>(
+        profile_by_name(name), cfg.machine));
+  const SimResult reference = run_simulation(scheme, programs, cfg);
+
+  SimBatch batch(1);
+  batch.set_kernels_enabled(true);
+  BatchRunSpec spec;
+  spec.scheme = std::make_shared<const CompiledScheme>(scheme, cfg.machine);
+  spec.programs = programs;
+  spec.config = cfg;
+  batch.enqueue(std::move(spec));
+  const std::vector<SimResult> results = batch.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(batch.kernel_stats().fused_jobs, 1u)
+      << "expected the fused kernel to engage on the paper machine";
+  EXPECT_EQ(compare_sim_results(reference, results[0],
+                                /*compare_merge_stats=*/true),
+            "");
 }
 
 // run_batch with lanes > 1 routes through SimBatch and must stay

@@ -1,0 +1,333 @@
+// Structurally-eviction-free ICache analysis (mem/icache_structural) and
+// the first-touch fetch path built on it: eligibility edge cases (config
+// gates, exactly-ways pressure, single-line programs, deliberate
+// conflicts), the FirstTouchIndex against a live LRU cache reference, and
+// end-to-end bit-identity of kernel-enabled batches on real workloads —
+// including a heterogeneous-cluster machine.
+#include "mem/icache_structural.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "isa/machine_file.hpp"
+#include "mem/cache.hpp"
+#include "sim/batch_engine.hpp"
+#include "sim/session.hpp"
+#include "testgen/oracle.hpp"
+#include "trace/benchmark_suite.hpp"
+#include "trace/trace_replay.hpp"
+
+namespace cvmt {
+namespace {
+
+/// A program whose static fetch set is exactly the given PCs (one
+/// single-op instruction per PC; the loop's closing instruction carries
+/// the mandatory back-branch). Only the analysis reads these programs.
+std::shared_ptr<const SyntheticProgram> program_at(
+    std::vector<std::uint64_t> pcs, const MachineConfig& machine) {
+  SyntheticProgram::Loop loop;
+  for (std::size_t i = 0; i < pcs.size(); ++i) {
+    Instruction instr;
+    Operation op;  // ALU in cluster 0, slot 0: valid on every machine
+    if (i + 1 == pcs.size()) {
+      op.kind = OpKind::kBranch;
+      op.slot = static_cast<std::uint8_t>(
+          std::countr_zero(machine.slots_for(OpKind::kBranch, 0)));
+    }
+    instr.add(op);
+    instr.set_pc(pcs[i]);
+    loop.body.push_back(instr);
+  }
+  loop.code_base = pcs.front();
+  loop.hot_window = 64;
+  BenchmarkProfile profile;
+  profile.name = "lines";
+  return std::make_shared<const SyntheticProgram>(profile, machine,
+                                                  std::vector{loop});
+}
+
+MemorySystemConfig default_mem() { return MemorySystemConfig{}; }
+
+// --- config gates ----------------------------------------------------
+
+TEST(IcacheStructural, PerfectMemoryIneligible) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const std::vector programs = {program_at({0x1000}, m)};
+  const std::vector<std::uint64_t> salts = {0};
+  MemorySystemConfig mem = default_mem();
+  mem.perfect = true;
+  const IcacheStructuralReport r =
+      analyze_icache_structural(programs, salts, mem);
+  EXPECT_FALSE(r.eligible);
+  EXPECT_NE(r.reason.find("perfect"), std::string::npos) << r.reason;
+}
+
+TEST(IcacheStructural, PrivateCachesIneligible) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const std::vector programs = {program_at({0x1000}, m)};
+  const std::vector<std::uint64_t> salts = {0};
+  MemorySystemConfig mem = default_mem();
+  mem.sharing = CacheSharing::kPrivate;
+  const IcacheStructuralReport r =
+      analyze_icache_structural(programs, salts, mem);
+  EXPECT_FALSE(r.eligible);
+  EXPECT_NE(r.reason.find("private"), std::string::npos) << r.reason;
+}
+
+TEST(IcacheStructural, L2Ineligible) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const std::vector programs = {program_at({0x1000}, m)};
+  const std::vector<std::uint64_t> salts = {0};
+  MemorySystemConfig mem = default_mem();
+  mem.has_l2 = true;
+  const IcacheStructuralReport r =
+      analyze_icache_structural(programs, salts, mem);
+  EXPECT_FALSE(r.eligible);
+  EXPECT_NE(r.reason.find("L2"), std::string::npos) << r.reason;
+}
+
+// --- set pressure ----------------------------------------------------
+
+// Lines all mapping to ONE set, exactly as many as the set has ways:
+// residency is permanent, the workload is eligible. One more line and LRU
+// must evict — ineligible. The default ICache is 64KB 4-way with 64B
+// lines (256 sets), so set 0 repeats every 16KB.
+TEST(IcacheStructural, ExactlyWaysPressureIsEligible) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const MemorySystemConfig mem = default_mem();
+  const std::uint64_t set_stride =
+      mem.icache.num_sets() * mem.icache.line_bytes;
+  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  for (std::uint32_t t = 0; t < mem.icache.ways; ++t)
+    programs.push_back(program_at({t * set_stride}, m));
+  const std::vector<std::uint64_t> salts(programs.size(), 0);
+  const IcacheStructuralReport r =
+      analyze_icache_structural(programs, salts, mem);
+  EXPECT_TRUE(r.eligible) << r.reason;
+  EXPECT_EQ(r.max_set_pressure, mem.icache.ways);
+  EXPECT_EQ(r.distinct_lines, mem.icache.ways);
+}
+
+TEST(IcacheStructural, OverWaysPressureIsIneligible) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const MemorySystemConfig mem = default_mem();
+  const std::uint64_t set_stride =
+      mem.icache.num_sets() * mem.icache.line_bytes;
+  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  for (std::uint32_t t = 0; t < mem.icache.ways + 1; ++t)
+    programs.push_back(program_at({t * set_stride}, m));
+  const std::vector<std::uint64_t> salts(programs.size(), 0);
+  const IcacheStructuralReport r =
+      analyze_icache_structural(programs, salts, mem);
+  EXPECT_FALSE(r.eligible);
+  EXPECT_EQ(r.max_set_pressure, mem.icache.ways + 1);
+  EXPECT_NE(r.reason.find("set pressure"), std::string::npos) << r.reason;
+}
+
+// Single-line programs: the smallest possible footprint, many threads.
+// All 16 land in DIFFERENT sets here, so pressure stays 1.
+TEST(IcacheStructural, SingleLineProgramsEligible) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const MemorySystemConfig mem = default_mem();
+  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  for (std::uint64_t t = 0; t < 16; ++t)
+    programs.push_back(program_at({t * mem.icache.line_bytes}, m));
+  const std::vector<std::uint64_t> salts(programs.size(), 0);
+  const IcacheStructuralReport r =
+      analyze_icache_structural(programs, salts, mem);
+  EXPECT_TRUE(r.eligible) << r.reason;
+  EXPECT_EQ(r.distinct_lines, 16u);
+  EXPECT_EQ(r.max_set_pressure, 1u);
+}
+
+// A deliberately conflicting pair: identical template PCs with identical
+// salts fetch the same lines, so one thread's compulsory miss would be
+// the other's warm hit — the analysis must refuse.
+TEST(IcacheStructural, OverlappingLineSetsIneligible) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const std::vector programs = {program_at({0x4000, 0x4040}, m),
+                                program_at({0x4000, 0x4040}, m)};
+  const std::vector<std::uint64_t> salts = {0, 0};
+  const IcacheStructuralReport r =
+      analyze_icache_structural(programs, salts, default_mem());
+  EXPECT_FALSE(r.eligible);
+  EXPECT_NE(r.reason.find("overlap"), std::string::npos) << r.reason;
+}
+
+// The same pair becomes eligible once the salts differ: the line sets
+// separate (salts shift whole lines), and with the default 256-set cache
+// the per-set pressure of two one-line-apart threads is at most 2.
+TEST(IcacheStructural, DistinctSaltsSeparateIdenticalPrograms) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const std::vector programs = {program_at({0x4000, 0x4040}, m),
+                                program_at({0x4000, 0x4040}, m)};
+  const std::vector<std::uint64_t> salts = {0, 0x100000};
+  const IcacheStructuralReport r =
+      analyze_icache_structural(programs, salts, default_mem());
+  EXPECT_TRUE(r.eligible) << r.reason;
+  EXPECT_EQ(r.distinct_lines, 4u);
+}
+
+// Per-thread address salts are whole-megabyte multiples: they relocate a
+// thread's lines (distinct tags) without ever changing set indices, which
+// is exactly what the disjointness/pressure split above assumes.
+TEST(IcacheStructural, SaltsAreMegabyteAligned) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const std::uint64_t salt = TraceGenerator::salt_for_seed(seed);
+    EXPECT_EQ(salt % 0x100000u, 0u) << "seed " << seed;
+    EXPECT_LT(salt, 2048u * 0x100000u) << "seed " << seed;
+  }
+}
+
+// The recorded variant is budget-exact. Whole-program: loop regions sit
+// 4KB apart while the default cache's set period is 16KB, so the 12 loops
+// fold into 4 set-groups of 3 — two threads stack 6 distinct lines onto
+// one set, over the 4 ways, and the static analysis must refuse. A small
+// budget only ever fetches the first loop or two per thread, so the
+// recorded line sets pass.
+TEST(IcacheStructural, RecordedAnalysisIsBudgetExact) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const auto program = std::make_shared<const SyntheticProgram>(
+      profile_by_name("colorspace"), m);
+  const std::vector programs = {program, program};
+  const std::vector<std::uint64_t> seeds = {42, 43};
+  const std::vector<std::uint64_t> salts = {
+      TraceGenerator::salt_for_seed(seeds[0]),
+      TraceGenerator::salt_for_seed(seeds[1])};
+  const MemorySystemConfig mem = default_mem();
+  const IcacheStructuralReport full =
+      analyze_icache_structural(programs, salts, mem);
+  EXPECT_FALSE(full.eligible);
+  EXPECT_GT(full.max_set_pressure, mem.icache.ways);
+
+  TraceReplay r0(program, seeds[0]);
+  TraceReplay r1(program, seeds[1]);
+  r0.ensure(500);
+  r1.ensure(500);
+  const std::vector<TraceReplay*> replays = {&r0, &r1};
+  const IcacheStructuralReport recorded =
+      analyze_icache_structural_recorded(
+          std::span<TraceReplay* const>(replays.data(), replays.size()),
+          500, mem);
+  EXPECT_TRUE(recorded.eligible) << recorded.reason;
+  EXPECT_LE(recorded.max_set_pressure, mem.icache.ways);
+}
+
+// --- first-touch index vs a live LRU cache ---------------------------
+
+// On an eligible (single-thread, trivially disjoint) stream, the
+// first-touch bit must equal the live shared cache's miss on every fetch,
+// in stream order — the exact substitution the batch engine performs.
+TEST(IcacheStructural, FirstTouchMatchesLiveCache) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const auto program = std::make_shared<const SyntheticProgram>(
+      profile_by_name("g721encode"), m);
+  TraceReplay replay(program, /*stream_seed=*/0x5EEDu);
+  const MemorySystemConfig mem = default_mem();
+  const std::uint32_t line_shift = 6;  // 64B lines
+  const std::uint64_t count = 4096;
+  const FirstTouchIndex& ft = replay.first_touch(line_shift, count);
+  ASSERT_GE(ft.covered(), count);
+
+  SetAssocCache cache(mem.icache);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const bool hit = cache.access(replay.entry(i).pc);
+    EXPECT_EQ(ft.miss(i), !hit) << "entry " << i;
+  }
+}
+
+// Extending the index keeps earlier bits unchanged (append-only).
+TEST(IcacheStructural, FirstTouchExtensionIsAppendOnly) {
+  const MachineConfig m = MachineConfig::vex4x4();
+  const auto program = std::make_shared<const SyntheticProgram>(
+      profile_by_name("bzip2"), m);
+  TraceReplay replay(program, 7);
+  const FirstTouchIndex& ft = replay.first_touch(6, 256);
+  std::vector<bool> before;
+  for (std::uint64_t i = 0; i < 256; ++i) before.push_back(ft.miss(i));
+  const FirstTouchIndex& wider = replay.first_touch(6, 4096);
+  EXPECT_EQ(&ft, &wider);  // same index object, same granularity
+  for (std::uint64_t i = 0; i < 256; ++i)
+    EXPECT_EQ(wider.miss(i), before[i]) << "entry " << i;
+}
+
+// --- end-to-end: kernels vs the session path -------------------------
+
+/// Runs `workload` under `cfg` through a kernels-enabled 1-lane batch and
+/// compares bit-for-bit against the sequential session path.
+void expect_kernel_identity(const MachineDescription& md,
+                            const Workload& workload, std::uint64_t budget,
+                            SimBatch::KernelStats* stats_out = nullptr) {
+  const Scheme scheme = Scheme::paper_schemes_4t().front();
+  SimConfig cfg;
+  cfg.machine = md.machine;
+  cfg.mem = md.mem;
+  cfg.switch_policy = md.switch_policy;
+  cfg.instruction_budget = budget;
+  cfg.timeslice_cycles = 500;
+  cfg.stats = StatsLevel::kFull;
+  std::vector<std::shared_ptr<const SyntheticProgram>> programs;
+  for (const std::string& name : workload.benchmarks)
+    programs.push_back(std::make_shared<const SyntheticProgram>(
+        profile_by_name(name), cfg.machine));
+  const SimResult reference = run_simulation(scheme, programs, cfg);
+
+  SimBatch batch(1);
+  batch.set_kernels_enabled(true);
+  BatchRunSpec spec;
+  spec.scheme = std::make_shared<const CompiledScheme>(scheme, cfg.machine);
+  spec.programs = programs;
+  spec.config = cfg;
+  batch.enqueue(std::move(spec));
+  const std::vector<SimResult> results = batch.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(compare_sim_results(reference, results[0],
+                                /*compare_merge_stats=*/true),
+            "");
+  if (stats_out != nullptr) *stats_out = batch.kernel_stats();
+}
+
+// The paper machine: 4-thread Table 2 workloads are structurally eligible
+// (each thread's template lines sit in distinct sets, so pressure ==
+// thread count <= ways) and the default policy is oblivious — the fused
+// kernel must actually engage, and the result must match the session path
+// exactly, ICache counters included.
+TEST(IcacheStructural, FusedKernelEngagesAndMatchesOnPaperMachine) {
+  MachineDescription md;
+  ASSERT_TRUE(find_builtin_machine("vex4x4", md));
+  SimBatch::KernelStats stats;
+  expect_kernel_identity(md, table2_workloads().front(), 2000, &stats);
+  EXPECT_EQ(stats.fused_jobs, 1u);
+  EXPECT_EQ(stats.structural_jobs, 0u);
+  EXPECT_EQ(stats.generic_jobs, 0u);
+}
+
+// Heterogeneous clusters (het4422): different footprints, same
+// eligibility logic. The kernel path chosen is machine-dependent detail;
+// the pinned property is bit-identity.
+TEST(IcacheStructural, KernelsMatchOnHeterogeneousMachine) {
+  MachineDescription md;
+  ASSERT_TRUE(find_builtin_machine("het4422", md));
+  for (const Workload& wl : {table2_workloads()[0], table2_workloads()[3]})
+    expect_kernel_identity(md, wl, 1500);
+}
+
+// An L2 machine gates the kernels off entirely; identity must hold via
+// the generic path and every job must be accounted generic.
+TEST(IcacheStructural, L2MachineFallsBackToGeneric) {
+  MachineDescription md;
+  ASSERT_TRUE(find_builtin_machine("l2banked", md));
+  SimBatch::KernelStats stats;
+  expect_kernel_identity(md, table2_workloads()[1], 1500, &stats);
+  EXPECT_EQ(stats.fused_jobs, 0u);
+  EXPECT_EQ(stats.structural_jobs, 0u);
+  EXPECT_EQ(stats.generic_jobs, 1u);
+}
+
+}  // namespace
+}  // namespace cvmt
